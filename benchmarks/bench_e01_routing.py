@@ -1,0 +1,18 @@
+"""Benchmark/driver for experiment E1 (paper Fig. 2 / Sect. 2): routing strategies.
+
+Regenerates the flooding-vs-simple routing table and asserts the reproduction
+criterion: identical deliveries, less broker-link traffic for simple routing.
+"""
+
+from repro.experiments import e01_routing
+
+
+def test_e01_routing_table(experiment_runner):
+    table = experiment_runner(e01_routing.run, broker_counts=(5, 15, 30))
+    for brokers in (5, 15, 30):
+        flooding = table.value("publish_msgs", brokers=brokers, strategy="flooding")
+        simple = table.value("publish_msgs", brokers=brokers, strategy="simple")
+        assert simple <= flooding
+        assert table.value("deliveries", brokers=brokers, strategy="simple") == table.value(
+            "deliveries", brokers=brokers, strategy="flooding"
+        )

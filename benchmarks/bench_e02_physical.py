@@ -1,0 +1,12 @@
+"""Benchmark/driver for experiment E2 (Fig. 1 left): physical mobility support levels."""
+
+from repro.experiments import e02_physical
+
+
+def test_e02_physical_mobility_table(experiment_runner):
+    table = experiment_runner(e02_physical.run, duration=60.0)
+    missed_none = table.value("missed", variant="none")
+    missed_resub = table.value("missed", variant="resubscribe")
+    missed_reloc = table.value("missed", variant="relocation")
+    assert missed_reloc <= missed_resub <= missed_none
+    assert table.value("miss_rate", variant="relocation") <= 0.02

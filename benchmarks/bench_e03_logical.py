@@ -1,0 +1,12 @@
+"""Benchmark/driver for experiment E3 (Fig. 1 right): logical mobility precision."""
+
+from repro.experiments import e03_logical
+
+
+def test_e03_logical_mobility_table(experiment_runner):
+    table = experiment_runner(e03_logical.run, duration=60.0)
+    aware = table.rows_where(client="location-aware (myloc)")[0]
+    unaware = table.rows_where(client="location-unaware (service-wide)")[0]
+    assert aware["precision"] >= 0.95
+    assert unaware["precision"] <= 0.3
+    assert unaware["deliveries"] >= 4 * aware["deliveries"]

@@ -1,0 +1,20 @@
+"""Benchmark/driver for experiment E4 (Sect. 3, Fig. 4): the headline comparison.
+
+Reactive re-subscription vs the replicator's pre-subscriptions on the
+car-on-a-route workload.
+"""
+
+from repro.experiments import e04_replicator
+
+
+def test_e04_replicator_table(experiment_runner):
+    table = experiment_runner(e04_replicator.run, duration=80.0)
+    reactive = table.rows_where(variant="reactive")[0]
+    replicator = table.rows_where(variant="replicator")[0]
+    flooding = table.rows_where(variant="replicator-flooding")[0]
+    assert replicator["missed"] < reactive["missed"]
+    assert replicator["delivery_rate"] > reactive["delivery_rate"]
+    assert replicator["first_delivery_latency"] < reactive["first_delivery_latency"]
+    assert replicator["replayed"] > 0
+    # the flooding shadow placement pays more state for (at best) equal quality
+    assert flooding["shadows"] > replicator["shadows"]

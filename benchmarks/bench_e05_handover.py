@@ -1,0 +1,12 @@
+"""Benchmark/driver for experiment E5 (Sect. 3.2.3): handover overhead vs nlb degree."""
+
+from repro.experiments import e05_handover
+
+
+def test_e05_handover_table(experiment_runner):
+    table = experiment_runner(e05_handover.run, duration=60.0)
+    line = table.rows_where(graph="line")[0]
+    grid4 = table.rows_where(graph="grid-4")[0]
+    complete = table.rows_where(graph="complete")[0]
+    assert line["mean_shadows"] <= grid4["mean_shadows"] <= complete["mean_shadows"]
+    assert line["shadow_deliveries"] <= grid4["shadow_deliveries"] <= complete["shadow_deliveries"]

@@ -1,0 +1,19 @@
+"""Benchmark/driver for experiment E6 (Sect. 4): coverage vs cost across the nlb spectrum."""
+
+from repro.experiments import e06_nlb_sweep
+
+
+def test_e06_nlb_sweep_table(experiment_runner):
+    table = experiment_runner(e06_nlb_sweep.run, duration=2000.0)
+    walk = {row["predictor"]: row for row in table.rows_where(workload="random-walk")}
+    teleport = {row["predictor"]: row for row in table.rows_where(workload="teleport")}
+    # coverage is monotone in the shadow budget
+    assert walk["nlb-1"]["coverage"] == 1.0
+    assert walk["flooding"]["coverage"] == 1.0
+    assert walk["none"]["coverage"] == 0.0
+    assert walk["nlb-1"]["mean_shadows"] < walk["nlb-2"]["mean_shadows"] < walk["flooding"]["mean_shadows"]
+    # the markov predictor needs no more shadows than nlb for covered movement
+    assert walk["markov"]["mean_shadows"] <= walk["nlb-1"]["mean_shadows"] + 0.5
+    # teleporting clients break nlb but not flooding (the paper's exception-mode motivation)
+    assert teleport["nlb-1"]["coverage"] < 0.5
+    assert teleport["flooding"]["coverage"] == 1.0

@@ -1,0 +1,13 @@
+"""Benchmark/driver for experiment E7 (Sect. 4): buffering policies."""
+
+from repro.experiments import e07_buffering
+
+
+def test_e07_buffering_table(experiment_runner):
+    table = experiment_runner(e07_buffering.run)
+    rows = {row["policy"]: row for row in table.rows}
+    assert rows["unbounded"]["evicted"] == 0
+    assert rows["unbounded"]["peak_memory"] >= rows["time"]["peak_memory"] >= rows["count"]["peak_memory"]
+    assert rows["time"]["stale_replayed"] == 0
+    assert rows["combined"]["peak_memory"] <= min(rows["time"]["peak_memory"], rows["count"]["peak_memory"])
+    assert rows["semantic"]["replayed"] <= rows["unbounded"]["replayed"]

@@ -1,0 +1,12 @@
+"""Benchmark/driver for experiment E9 (Sect. 4): exception mode after power-off."""
+
+from repro.experiments import e09_exception
+
+
+def test_e09_exception_table(experiment_runner):
+    table = experiment_runner(e09_exception.run, duration=90.0)
+    off = table.rows_where(variant="exception-off")[0]
+    on = table.rows_where(variant="exception-on")[0]
+    assert on["exception_recoveries"] > 0
+    assert on["delivery_rate"] >= off["delivery_rate"]
+    assert on["uncovered_arrivals"] > 0  # teleports do escape the shadow set

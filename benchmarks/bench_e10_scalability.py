@@ -1,0 +1,18 @@
+"""Benchmark/driver for experiment E10 (Sect. 4): scalability sweep."""
+
+from repro.experiments import e10_scalability
+
+
+def test_e10_scalability_table(experiment_runner):
+    table = experiment_runner(e10_scalability.run, grid_sides=(2, 3, 4), client_counts=(2, 6), duration=60.0)
+    # cost grows with brokers and with clients; QoS stays high everywhere
+    for variant in ("reactive", "replicator"):
+        small = table.value("events", brokers=4, clients=2, variant=variant)
+        large = table.value("events", brokers=16, clients=6, variant=variant)
+        assert large > small
+    for row in table.rows:
+        assert row["delivery_rate"] >= 0.8
+    # the replicator pays control-message overhead over the reactive baseline
+    assert table.value("control_msgs", brokers=9, clients=6, variant="replicator") > table.value(
+        "control_msgs", brokers=9, clients=6, variant="reactive"
+    )

@@ -1,0 +1,13 @@
+"""Benchmark/driver for experiment E11 (Sect. 4): context-dependent subscriptions."""
+
+from repro.experiments import e11_context
+
+
+def test_e11_context_table(experiment_runner):
+    table = experiment_runner(e11_context.run, duration=90.0)
+    aware = table.rows_where(client="context-aware")[0]
+    static = table.rows_where(client="static (subscribe-everything)")[0]
+    assert aware["precision"] >= 0.95
+    assert static["precision"] < 0.8
+    assert aware["recall"] >= 0.9
+    assert aware["rebinds"] >= 2

@@ -1,0 +1,20 @@
+"""Benchmark/driver for experiment E12 (Sect. 2): routing-strategy ablation."""
+
+from repro.experiments import e12_routing_ablation
+
+
+def test_e12_routing_ablation_table(experiment_runner):
+    table = experiment_runner(e12_routing_ablation.run, subscriber_counts=(8, 24))
+    for subscribers in (8, 24):
+        deliveries = {
+            row["strategy"]: row["deliveries"] for row in table.rows_where(subscribers=subscribers)
+        }
+        assert len(set(deliveries.values())) == 1
+        simple = table.value("table_size", subscribers=subscribers, strategy="simple")
+        covering = table.value("table_size", subscribers=subscribers, strategy="covering")
+        identity = table.value("table_size", subscribers=subscribers, strategy="identity")
+        assert covering <= identity <= simple
+        assert table.value("sub_msgs", subscribers=subscribers, strategy="flooding") == 0
+        assert table.value("publish_msgs", subscribers=subscribers, strategy="flooding") >= table.value(
+            "publish_msgs", subscribers=subscribers, strategy="simple"
+        )

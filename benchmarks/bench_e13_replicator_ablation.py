@@ -1,0 +1,12 @@
+"""Benchmark/driver for experiment E13: replicator design-choice ablation."""
+
+from repro.experiments import e13_replicator_ablation
+
+
+def test_e13_replicator_ablation_table(experiment_runner):
+    table = experiment_runner(e13_replicator_ablation.run, duration=60.0)
+    rows = {row["configuration"]: row for row in table.rows}
+    assert rows["unfiltered-replay"]["replayed"] >= rows["baseline"]["replayed"]
+    assert rows["combined-buffer-policy"]["buffer_memory"] <= rows["baseline"]["buffer_memory"]
+    rates = [row["delivery_rate"] for row in table.rows]
+    assert max(rates) - min(rates) <= 0.05

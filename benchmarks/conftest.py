@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the experiment tables (E1..E12) exactly
+once per run (``rounds=1``): the interesting output is the table itself — the
+reproduction of the corresponding figure/claim of the paper — and the wall
+clock time it takes to produce it.  The tables are printed at the end of the
+run so ``pytest benchmarks/ --benchmark-only -s`` doubles as the experiment
+driver used to fill EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_COLLECTED_TABLES = []
+
+
+def run_once(benchmark, run_function, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark and keep its table."""
+    table = benchmark.pedantic(lambda: run_function(**kwargs), rounds=1, iterations=1)
+    _COLLECTED_TABLES.append(table)
+    return table
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    def runner(run_function, **kwargs):
+        return run_once(benchmark, run_function, **kwargs)
+
+    return runner
+
+
+def pytest_sessionfinish(session, exitstatus):
+    terminal = session.config.pluginmanager.get_plugin("terminalreporter")
+    if terminal is None or not _COLLECTED_TABLES:
+        return
+    terminal.write_line("")
+    terminal.write_line("=" * 78)
+    terminal.write_line("Reproduced experiment tables (see EXPERIMENTS.md for interpretation)")
+    terminal.write_line("=" * 78)
+    for table in _COLLECTED_TABLES:
+        terminal.write_line("")
+        terminal.write_line(table.formatted())

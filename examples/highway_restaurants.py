@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: restaurant menus along the route of a car.
+
+A car drives along a highway divided into km segments, each covered by a
+roadside border broker.  Restaurants publish their menus at arbitrary times;
+the driver wants "the menus of restaurants along the route" — a
+location-dependent subscription whose ``myloc`` binds to the current segment
+and its neighbours.
+
+The example runs the same trip twice:
+
+* **reactive** — subscriptions are re-issued only after the car reaches a new
+  broker, so menus published before arrival (or during the coverage gap) are
+  lost;
+* **replicator** — the paper's pre-subscriptions: shadow virtual clients at
+  the next roadside brokers buffer the menus and replay them the moment the
+  car arrives.
+
+Run with::
+
+    python examples/highway_restaurants.py
+"""
+
+from __future__ import annotations
+
+from repro.core import MobilitySystemConfig, ReplicatorConfig, handover_latencies, location_dependent, mean
+from repro.mobility import RoutePathMobility, build_route_scenario, restaurant_workload
+
+
+def drive_once(variant: str, duration: float = 90.0) -> dict:
+    if variant == "reactive":
+        config = MobilitySystemConfig(
+            replicator=ReplicatorConfig(
+                pre_subscription=False, physical_relocation=False, exception_mode=False
+            ),
+            predictor="none",
+        )
+    else:
+        config = MobilitySystemConfig()  # full replicator support, nlb shadows
+
+    scenario = build_route_scenario(n_segments=18, segments_per_broker=3, config=config)
+    publishers, recorder = restaurant_workload(
+        scenario.system, period=1.5, recorder=scenario.recorder, until=duration
+    )
+
+    # Drive the route end to end, spending 4 simulated seconds per km segment,
+    # with a 1-second out-of-coverage gap at every broker handover.
+    menu_template = location_dependent({"service": "restaurant-menu"})
+    trip = RoutePathMobility(scenario.space.locations, dwell_time=4.0, loop=True)
+    car = scenario.add_roaming_subscriber(
+        "car", menu_template, trip, duration=duration, handover_gap=1.0
+    )
+
+    scenario.run(duration)
+    publishers.stop()
+
+    outcome = scenario.evaluate(car)
+    first_latencies = [
+        h.first_delivery_latency
+        for h in handover_latencies(car.client)
+        if h.first_delivery_latency is not None
+    ]
+    return {
+        "variant": variant,
+        "relevant menus": outcome.relevant,
+        "delivered": outcome.delivered_relevant,
+        "missed": outcome.missed,
+        "replayed from shadow buffers": outcome.replayed,
+        "mean first-delivery latency after handover (s)": round(mean(first_latencies), 3),
+        "replication control messages": scenario.system.control_message_count(),
+        "standing shadow virtual clients": scenario.system.total_shadow_count(),
+    }
+
+
+def main() -> None:
+    print("Driving the highway twice with identical publications and movement...\n")
+    for variant in ("reactive", "replicator"):
+        result = drive_once(variant)
+        print(f"--- {variant} ---")
+        for key, value in result.items():
+            if key != "variant":
+                print(f"  {key:48s} {value}")
+        print()
+    print(
+        "The replicator variant misses (almost) nothing after each handover and\n"
+        "additionally replays the menus that were published before the car arrived\n"
+        "— the 'everything, everywhere, all the time' illusion the paper aims for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setup shim.
+
+The offline environment used for the reproduction has no ``wheel`` package,
+so PEP 517 editable installs (``pip install -e .``) cannot build a wheel.
+This ``setup.py`` enables the legacy editable install path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,25 @@
+"""repro: reproduction of "Dealing with Uncertainty in Mobile Publish/Subscribe Middleware".
+
+The package is organised in four layers:
+
+* :mod:`repro.net` — deterministic discrete-event simulation substrate
+  (processes, FIFO links, wireless channels);
+* :mod:`repro.pubsub` — the REBECA-style content-based publish/subscribe
+  substrate (notifications, filters, routing, brokers, clients);
+* :mod:`repro.core` — the paper's contribution: physical mobility
+  (relocation), logical mobility (``myloc`` subscriptions), and extended
+  logical mobility (the replicator layer with pre-subscriptions, shadow
+  virtual clients and buffering policies);
+* :mod:`repro.mobility` and :mod:`repro.experiments` — mobility models,
+  workload generators, scenario composition and the experiment harness used
+  by the benchmark suite.
+
+The most convenient entry point is :class:`repro.core.MobilePubSub`; see
+``examples/quickstart.py``.
+"""
+
+from . import core, net, pubsub
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "net", "pubsub", "__version__"]

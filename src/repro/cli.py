@@ -1,0 +1,125 @@
+"""Command-line interface.
+
+Three subcommands mirror what a user of the library typically wants to do
+without writing code:
+
+* ``repro experiments`` — run (a subset of) the E1..E12 experiment suite and
+  print the result tables, optionally writing a markdown report;
+* ``repro demo`` — run one of the bundled example scenarios (quickstart,
+  office floor, highway, commuter) and print its output;
+* ``repro info`` — show the system inventory: packages, experiments,
+  scenarios, and the paper-to-module map.
+
+Invoke as ``python -m repro ...`` (or ``python -m repro.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS
+from .experiments.report import QUICK_OVERRIDES, render_markdown, run_experiments
+
+_EXAMPLES = {
+    "quickstart": "quickstart.py",
+    "office-floor": "office_floor_tour.py",
+    "highway": "highway_restaurants.py",
+    "commuter": "commuter_stock_ticker.py",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Dealing with Uncertainty in Mobile Publish/Subscribe "
+            "Middleware' (Fiege et al., Middleware 2003)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run the experiment suite and print the result tables"
+    )
+    experiments.add_argument(
+        "ids", nargs="*", metavar="EXPERIMENT", help="experiment ids (default: all of E1..E12)"
+    )
+    experiments.add_argument(
+        "--quick", action="store_true", help="use reduced parameters (fast smoke run)"
+    )
+    experiments.add_argument(
+        "--report", metavar="PATH", default=None, help="also write a markdown report to PATH"
+    )
+
+    demo = subparsers.add_parser("demo", help="run one of the bundled example scenarios")
+    demo.add_argument("name", choices=sorted(_EXAMPLES), help="which example to run")
+
+    subparsers.add_parser("info", help="show the system inventory")
+    return parser
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    requested = [identifier.upper() for identifier in args.ids] or list(EXPERIMENTS)
+    unknown = [identifier for identifier in requested if identifier not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    overrides = {key: value for key, value in QUICK_OVERRIDES.items() if key in requested} if args.quick else {}
+    results = run_experiments(requested, overrides)
+    for experiment_id, (title, table) in results.items():
+        print(f"\n=== {experiment_id}: {title} ===\n")
+        print(table.formatted())
+    if args.report:
+        Path(args.report).write_text(render_markdown(results), encoding="utf-8")
+        print(f"\nreport written to {args.report}")
+    return 0
+
+
+def _command_demo(args: argparse.Namespace) -> int:
+    import runpy
+
+    examples_dir = Path(__file__).resolve().parent.parent.parent / "examples"
+    script = examples_dir / _EXAMPLES[args.name]
+    if not script.exists():
+        print(f"example script not found: {script}", file=sys.stderr)
+        return 2
+    runpy.run_path(str(script), run_name="__main__")
+    return 0
+
+
+def _command_info() -> int:
+    print("repro — mobile publish/subscribe middleware reproduction")
+    print()
+    print("Packages:")
+    print("  repro.net          discrete-event simulation substrate")
+    print("  repro.pubsub       REBECA-style content-based pub/sub")
+    print("  repro.core         mobility support (physical, logical, extended logical)")
+    print("  repro.mobility     mobility models, workloads, scenarios")
+    print("  repro.experiments  experiment suite (E1..E12)")
+    print()
+    print("Experiments:")
+    for experiment_id, (title, _run) in EXPERIMENTS.items():
+        print(f"  {experiment_id:4s} {title}")
+    print()
+    print("Demos:", ", ".join(sorted(_EXAMPLES)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        return _command_experiments(args)
+    if args.command == "demo":
+        return _command_demo(args)
+    if args.command == "info":
+        return _command_info()
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro.cli
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Run every experiment and print its result table.
+
+Usage::
+
+    python -m repro.experiments            # all experiments
+    python -m repro.experiments E4 E6      # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    requested = [arg.upper() for arg in argv] or list(EXPERIMENTS.keys())
+    unknown = [exp for exp in requested if exp not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}")
+        return 2
+    for experiment_id in requested:
+        title, run = EXPERIMENTS[experiment_id]
+        print(f"\n=== {experiment_id}: {title} ===\n")
+        table = run()
+        print(table.formatted())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,133 @@
+"""E4 — Extended logical mobility: pre-subscriptions vs reactive re-subscription.
+
+This is the paper's headline mechanism (Sect. 3, Fig. 4).  A car drives along
+a route and wants the restaurant menus for the road segments around it; menus
+are published at arbitrary times, so "the client cannot rely on the fact that
+notifications ... happen to be published just as the client enters the new
+broker's range" (Sect. 1).  Compared variants:
+
+* ``reactive`` — no pre-subscriptions: location-dependent subscriptions are
+  (re-)issued only after the client arrives at the new broker; everything
+  published before that is lost;
+* ``replicator`` — the paper's replicator layer with shadows on ``nlb`` of
+  the current broker: buffered notifications are replayed on arrival;
+* ``replicator-flooding`` — shadows everywhere (maximal coverage, the
+  degenerate overhead case).
+
+Measured per variant: missed location-relevant notifications, delivery rate,
+replayed notifications, mean first-delivery latency after a handover, and the
+control-message overhead of the replication protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..core.location_filter import location_dependent
+from ..core.metrics import handover_latencies, mean
+from ..core.middleware import MobilitySystemConfig
+from ..core.replicator import ReplicatorConfig
+from ..mobility.models import RoutePathMobility
+from ..mobility.scenario import build_route_scenario
+from ..mobility.workload import restaurant_workload
+from .harness import Table
+
+VARIANTS = ("reactive", "replicator", "replicator-flooding")
+
+
+def run(
+    variants: Sequence[str] = VARIANTS,
+    n_segments: int = 18,
+    segments_per_broker: int = 3,
+    publish_period: float = 1.0,
+    dwell_time: float = 4.0,
+    duration: float = 80.0,
+    handover_gap: float = 1.0,
+) -> Table:
+    """Run the pre-subscription comparison and return the result table."""
+    table = Table(
+        "E4: reactive re-subscription vs replicator pre-subscriptions",
+        columns=[
+            "variant",
+            "relevant",
+            "delivered",
+            "missed",
+            "delivery_rate",
+            "replayed",
+            "first_delivery_latency",
+            "control_msgs",
+            "shadows",
+        ],
+        description="Car-on-a-route restaurant menus; the replicator should not miss notifications after handover.",
+    )
+    for variant in variants:
+        row = _run_variant(
+            variant,
+            n_segments,
+            segments_per_broker,
+            publish_period,
+            dwell_time,
+            duration,
+            handover_gap,
+        )
+        table.add_row(variant=variant, **row)
+    return table
+
+
+def _variant_config(variant: str) -> MobilitySystemConfig:
+    if variant == "reactive":
+        return MobilitySystemConfig(
+            replicator=ReplicatorConfig(pre_subscription=False, physical_relocation=False, exception_mode=False),
+            predictor="none",
+        )
+    if variant == "replicator":
+        return MobilitySystemConfig(replicator=ReplicatorConfig(), predictor="nlb")
+    if variant == "replicator-flooding":
+        return MobilitySystemConfig(replicator=ReplicatorConfig(), predictor="flooding")
+    raise ValueError(f"unknown variant {variant!r}")
+
+
+def _run_variant(
+    variant: str,
+    n_segments: int,
+    segments_per_broker: int,
+    publish_period: float,
+    dwell_time: float,
+    duration: float,
+    handover_gap: float,
+) -> Dict[str, object]:
+    scenario = build_route_scenario(
+        n_segments=n_segments,
+        segments_per_broker=segments_per_broker,
+        config=_variant_config(variant),
+    )
+    publishers, recorder = restaurant_workload(
+        scenario.system, period=publish_period, recorder=scenario.recorder, until=duration
+    )
+
+    template = location_dependent({"service": "restaurant-menu"})
+    path = scenario.space.locations  # drive the route from start to end
+    model = RoutePathMobility(path, dwell_time=dwell_time, loop=True)
+    subscriber = scenario.add_roaming_subscriber(
+        "car", template, model, duration=duration, handover_gap=handover_gap
+    )
+
+    scenario.run(duration)
+    publishers.stop()
+
+    outcome = scenario.evaluate(subscriber)
+    latencies = [
+        h.first_delivery_latency
+        for h in handover_latencies(subscriber.client)
+        if h.first_delivery_latency is not None
+    ]
+    return {
+        "relevant": outcome.relevant,
+        "delivered": outcome.delivered_relevant,
+        "missed": outcome.missed,
+        "delivery_rate": round(outcome.delivery_rate, 4),
+        "replayed": outcome.replayed,
+        "first_delivery_latency": round(mean(latencies), 4),
+        "control_msgs": scenario.system.control_message_count(),
+        "shadows": scenario.system.total_shadow_count(),
+    }

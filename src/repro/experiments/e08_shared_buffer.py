@@ -1,0 +1,116 @@
+"""E8 — Shared digest buffer vs per-virtual-client buffers (Sect. 4).
+
+"If virtual clients buffer notifications individually, they may consume
+memory redundantly by keeping the same data.  A shared buffer at the border
+broker can be used and virtual clients can keep only the digest (e.g., IDs or
+hash) of the events."
+
+This experiment co-locates ``k`` shadow virtual clients with overlapping
+location-dependent subscriptions at one border broker, feeds them the same
+notification stream, and compares the memory footprint of individual
+:class:`~repro.core.buffering.NotificationBuffer` instances against digest
+buffers backed by one :class:`~repro.core.buffering.SharedNotificationStore`.
+
+Expected shape: individual memory grows ~linearly with ``k`` while the shared
+store stays ~flat (every notification stored once) plus a small per-client
+digest cost.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from ..core.buffering import (
+    CountBasedPolicy,
+    DigestBuffer,
+    NotificationBuffer,
+    SharedNotificationStore,
+)
+from ..pubsub.notification import Notification
+from .harness import Table
+
+
+def run(
+    client_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    stream_length: int = 200,
+    overlap: float = 0.8,
+    max_entries: int = 100,
+    seed: int = 8,
+) -> Table:
+    """Run the memory comparison and return the result table."""
+    table = Table(
+        "E8: individual buffers vs shared digest buffer",
+        columns=[
+            "clients",
+            "individual_bytes",
+            "shared_bytes",
+            "saving_ratio",
+            "stored_once",
+            "digests_held",
+        ],
+        description=f"{stream_length} buffered notifications, {int(overlap * 100)}% subscription overlap.",
+    )
+    for k in client_counts:
+        row = _run_once(k, stream_length, overlap, max_entries, seed)
+        table.add_row(clients=k, **row)
+    return table
+
+
+def _stream(length: int, seed: int) -> List[Notification]:
+    rng = random.Random(seed)
+    stream = []
+    for index in range(length):
+        stream.append(
+            Notification(
+                {
+                    "service": "weather",
+                    "location": f"cell-{index % 5}-0",
+                    "forecast": rng.choice(["sunny", "rain", "fog"]),
+                    "detail": "y" * rng.randint(20, 60),
+                },
+                published_at=float(index),
+            )
+        )
+    return stream
+
+
+def _run_once(
+    k: int, stream_length: int, overlap: float, max_entries: int, seed: int
+) -> Dict[str, object]:
+    rng = random.Random(seed + k)
+    stream = _stream(stream_length, seed)
+
+    # Which clients buffer which notification: the first client buffers all,
+    # the others buffer an `overlap` fraction (overlapping subscriptions).
+    interest: List[List[bool]] = []
+    for client in range(k):
+        if client == 0:
+            interest.append([True] * len(stream))
+        else:
+            interest.append([rng.random() < overlap for _ in stream])
+
+    # Individual buffers.
+    individual = [NotificationBuffer(CountBasedPolicy(max_entries)) for _ in range(k)]
+    for index, notification in enumerate(stream):
+        for client in range(k):
+            if interest[client][index]:
+                individual[client].add(notification, now=notification.published_at)
+    individual_bytes = sum(buffer.memory_bytes() for buffer in individual)
+
+    # Shared store + digest buffers.
+    store = SharedNotificationStore()
+    shared = [DigestBuffer(store, CountBasedPolicy(max_entries)) for _ in range(k)]
+    for index, notification in enumerate(stream):
+        for client in range(k):
+            if interest[client][index]:
+                shared[client].add(notification, now=notification.published_at)
+    shared_bytes = store.memory_bytes() + sum(buffer.memory_bytes() for buffer in shared)
+
+    return {
+        "individual_bytes": individual_bytes,
+        "shared_bytes": shared_bytes,
+        "saving_ratio": round(individual_bytes / shared_bytes, 2) if shared_bytes else 0.0,
+        "stored_once": len(store),
+        "digests_held": sum(len(buffer) for buffer in shared),
+    }

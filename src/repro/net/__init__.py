@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+This package replaces the physical deployment of the original REBECA
+middleware (TCP links between Java broker processes, wireless access links to
+mobile devices) with a deterministic, laptop-scale simulation that preserves
+the properties the paper's algorithms rely on: per-link FIFO delivery, known
+latencies and explicit connection awareness.
+"""
+
+from .faults import FaultEvent, FaultInjector, FaultLog
+from .link import Link, LinkStats, Network
+from .process import LinkEndpoint, Message, Process
+from .simulator import EventHandle, PeriodicTask, SimulationError, Simulator, drain
+from .wireless import CoverageMap, WirelessChannel, WirelessStats
+
+__all__ = [
+    "CoverageMap",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLog",
+    "EventHandle",
+    "Link",
+    "LinkEndpoint",
+    "LinkStats",
+    "Message",
+    "Network",
+    "PeriodicTask",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "WirelessChannel",
+    "WirelessStats",
+    "drain",
+]

@@ -1,0 +1,144 @@
+"""Fault injection for dynamic environments.
+
+The paper's research agenda (Sect. 4, "Scalability and dynamic environments")
+points out that pervasive deployments are not static: links fail, brokers
+disappear and come back, the infrastructure itself changes while clients
+roam.  The tooling below injects exactly those events into a running
+simulation so tests and experiments can observe how the mobility layer
+degrades and recovers:
+
+* :class:`FaultInjector` — schedule link outages, broker crashes/restarts and
+  (acyclic-graph) partitions at chosen simulated times;
+* :class:`FaultLog` — a record of every injected event for post-hoc analysis.
+
+Faults are deliberately *mechanical*: they flip the same switches
+(:meth:`Link.set_up`, :meth:`Process.shutdown`) that operational tooling
+would, so no component gets magical knowledge that a fault happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .link import Link, Network
+from .process import Process
+from .simulator import Simulator
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault (or repair), as recorded by the :class:`FaultLog`."""
+
+    time: float
+    kind: str
+    target: str
+
+
+class FaultLog:
+    """Chronological record of injected faults and repairs."""
+
+    def __init__(self) -> None:
+        self.events: List[FaultEvent] = []
+
+    def record(self, time: float, kind: str, target: str) -> None:
+        self.events.append(FaultEvent(time=time, kind=kind, target=target))
+
+    def of_kind(self, kind: str) -> List[FaultEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+class FaultInjector:
+    """Schedules faults against a :class:`~repro.net.link.Network`.
+
+    All methods accept absolute simulated times; scheduling in the past
+    raises (through the simulator), which keeps experiment scripts honest.
+    """
+
+    def __init__(self, sim: Simulator, network: Network):
+        self.sim = sim
+        self.network = network
+        self.log = FaultLog()
+
+    # ------------------------------------------------------------------ links
+    def link_outage(self, a: str, b: str, start: float, duration: float) -> None:
+        """Take the link between ``a`` and ``b`` down for ``duration`` seconds."""
+        link = self._require_link(a, b)
+        self.sim.schedule_at(start, self._set_link, link, False, f"{a}<->{b}")
+        self.sim.schedule_at(start + duration, self._set_link, link, True, f"{a}<->{b}")
+
+    def cut_link(self, a: str, b: str, at: float) -> None:
+        """Permanently cut the link between ``a`` and ``b``."""
+        link = self._require_link(a, b)
+        self.sim.schedule_at(at, self._set_link, link, False, f"{a}<->{b}")
+
+    def _set_link(self, link: Link, up: bool, label: str) -> None:
+        link.set_up(up)
+        self.log.record(self.sim.now, "link_up" if up else "link_down", label)
+
+    def _require_link(self, a: str, b: str) -> Link:
+        link = self.network.link_between(a, b)
+        if link is None:
+            raise KeyError(f"no link between {a!r} and {b!r}")
+        return link
+
+    # ---------------------------------------------------------------- brokers
+    def crash_process(self, name: str, at: float) -> None:
+        """Crash a process (it stops handling messages) at time ``at``."""
+        process = self._require_process(name)
+        self.sim.schedule_at(at, self._set_process_alive, process, False)
+
+    def restart_process(self, name: str, at: float) -> None:
+        """Restart a previously crashed process at time ``at``.
+
+        State held by the process (routing tables, buffers) is preserved —
+        this models a transient freeze/restart, not a cold reboot; cold-start
+        recovery is an explicit non-goal of the paper's algorithms.
+        """
+        process = self._require_process(name)
+        self.sim.schedule_at(at, self._set_process_alive, process, True)
+
+    def crash_for(self, name: str, start: float, duration: float) -> None:
+        """Crash a process for ``duration`` seconds, then bring it back."""
+        self.crash_process(name, start)
+        self.restart_process(name, start + duration)
+
+    def _set_process_alive(self, process: Process, alive: bool) -> None:
+        process.alive = alive
+        self.log.record(self.sim.now, "process_up" if alive else "process_down", process.name)
+
+    def _require_process(self, name: str) -> Process:
+        if name not in self.network.processes:
+            raise KeyError(f"unknown process {name!r}")
+        return self.network.processes[name]
+
+    # -------------------------------------------------------------- partitions
+    def partition(self, side_a: List[str], side_b: List[str], start: float, duration: float) -> int:
+        """Disable every link that crosses the two process groups for ``duration`` seconds.
+
+        Returns the number of links affected.  In an acyclic broker network a
+        partition of the broker graph corresponds to taking down the (single)
+        tree edge between the two sides, but the helper works for any split,
+        including replicator-to-replicator links.
+        """
+        affected = 0
+        group_a, group_b = set(side_a), set(side_b)
+        for link in self.network.links:
+            names = {link.a.name, link.b.name}
+            if names & group_a and names & group_b:
+                label = f"{link.a.name}<->{link.b.name}"
+                self.sim.schedule_at(start, self._set_link, link, False, label)
+                self.sim.schedule_at(start + duration, self._set_link, link, True, label)
+                affected += 1
+        return affected
+
+    # ------------------------------------------------------------------ stats
+    def downtime_events(self) -> Tuple[int, int]:
+        """Return ``(link_down_events, process_down_events)`` injected so far."""
+        return len(self.log.of_kind("link_down")), len(self.log.of_kind("process_down"))

@@ -1,0 +1,151 @@
+"""Simulated processes and messages.
+
+Every active component of the reproduced system — inner brokers, border
+brokers, replicators, virtual clients, mobile devices — is a
+:class:`Process` registered with a :class:`~repro.net.simulator.Simulator`.
+Processes communicate exclusively by sending :class:`Message` objects over
+:class:`~repro.net.link.Link` objects, mirroring the paper's model of broker
+processes connected by point-to-point FIFO links (Sect. 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .simulator import Simulator
+
+_message_ids = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """A message exchanged between processes.
+
+    Attributes
+    ----------
+    kind:
+        A short string tag identifying the message type (``"publish"``,
+        ``"subscribe"``, ``"shadow_create"``, ...).  Routing of control
+        messages dispatches on this tag.
+    payload:
+        Arbitrary message body (a notification, a filter, a dict of fields).
+    sender:
+        Name of the originating process; filled in by :meth:`Process.send`.
+    msg_id:
+        Globally unique id, useful for duplicate detection in tests.
+    meta:
+        Free-form metadata (e.g. the subscription id a publish matched).
+    """
+
+    kind: str
+    payload: Any = None
+    sender: Optional[str] = None
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def size(self) -> int:
+        """A crude size estimate in abstract bytes, used for bandwidth metrics."""
+        return 16 + _estimate_size(self.payload) + _estimate_size(self.meta)
+
+    def copy(self) -> "Message":
+        """Return a shallow copy with a fresh message id (used when forwarding)."""
+        return Message(kind=self.kind, payload=self.payload, sender=self.sender, meta=dict(self.meta))
+
+
+def _estimate_size(obj: Any) -> int:
+    if obj is None:
+        return 0
+    if isinstance(obj, (int, float, bool)):
+        return 8
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return 8 + sum(_estimate_size(item) for item in obj)
+    if isinstance(obj, dict):
+        return 8 + sum(_estimate_size(k) + _estimate_size(v) for k, v in obj.items())
+    size_hook = getattr(obj, "estimated_size", None)
+    if callable(size_hook):
+        return int(size_hook())
+    return 32
+
+
+class Process:
+    """Base class for all simulated processes.
+
+    Subclasses override :meth:`on_message` to handle incoming traffic and may
+    use :meth:`send` to emit messages over attached links.  Links are attached
+    by the network wiring code (see :mod:`repro.pubsub.broker_network`), not
+    by the process itself.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        self.sim = sim
+        self.name = name
+        self.links: Dict[str, "LinkEndpoint"] = {}
+        self.messages_received = 0
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.alive = True
+
+    # ----------------------------------------------------------------- wiring
+    def attach_link(self, peer_name: str, endpoint: "LinkEndpoint") -> None:
+        """Register the local endpoint of a link towards ``peer_name``."""
+        self.links[peer_name] = endpoint
+
+    def detach_link(self, peer_name: str) -> None:
+        """Remove the link towards ``peer_name`` (e.g. on disconnection)."""
+        self.links.pop(peer_name, None)
+
+    def has_link(self, peer_name: str) -> bool:
+        return peer_name in self.links
+
+    @property
+    def neighbors(self) -> list[str]:
+        """Names of processes this process currently has a link to."""
+        return list(self.links.keys())
+
+    # -------------------------------------------------------------- messaging
+    def send(self, peer_name: str, message: Message) -> None:
+        """Send ``message`` to ``peer_name`` over the attached link.
+
+        Raises ``KeyError`` if no link to the peer exists — callers that can
+        tolerate missing links (e.g. during handover races) should check
+        :meth:`has_link` first.
+        """
+        endpoint = self.links[peer_name]
+        message.sender = self.name
+        self.messages_sent += 1
+        self.bytes_sent += message.size()
+        endpoint.transmit(message)
+
+    def deliver(self, message: Message) -> None:
+        """Entry point used by links to hand a message to this process."""
+        if not self.alive:
+            return
+        self.messages_received += 1
+        self.on_message(message)
+
+    # ------------------------------------------------------------------ hooks
+    def on_message(self, message: Message) -> None:
+        """Handle an incoming message.  Subclasses override this."""
+        raise NotImplementedError(f"{type(self).__name__} does not handle messages")
+
+    def shutdown(self) -> None:
+        """Stop accepting messages; used for client removal and fault injection."""
+        self.alive = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class LinkEndpoint:
+    """One side of a bidirectional link; defined here to avoid an import cycle.
+
+    Concrete behaviour (latency, FIFO queueing, connectivity) lives in
+    :mod:`repro.net.link`.
+    """
+
+    def transmit(self, message: Message) -> None:  # pragma: no cover - interface
+        raise NotImplementedError

@@ -1,0 +1,182 @@
+"""Wireless access links with connection awareness.
+
+The paper's "Mobile REBECA" architecture (Sect. 2, Fig. 3) connects a mobile
+device to the border broker of its current cell over a wireless link
+(WLAN/IrDA/Bluetooth in the paper).  The only properties the mobility
+algorithms need from that hardware are *connection awareness*: both the
+device and its virtual counterpart can check whether a connection currently
+exists, and the device can discover whether some border broker is in
+reachable distance.
+
+:class:`WirelessChannel` models exactly that: at any time the device is
+attached to at most one access point (border broker / replicator process);
+attachment changes are explicit events with connect/disconnect latencies, and
+both sides receive callbacks so that virtual clients can switch between
+*active* and *buffering* mode (Sect. 3.2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from .link import Link, LinkStats
+from .process import Message, Process
+from .simulator import Simulator
+
+ConnectionCallback = Callable[[str], None]
+
+
+@dataclass
+class WirelessStats:
+    """Counters for a device's wireless activity."""
+
+    connects: int = 0
+    disconnects: int = 0
+    handovers: int = 0
+    messages_up: int = 0
+    messages_down: int = 0
+    dropped_while_disconnected: int = 0
+    attachment_history: List[tuple] = field(default_factory=list)
+
+
+class WirelessChannel:
+    """The wireless side of a mobile device.
+
+    The channel owns the (single) dynamic link between the device process and
+    whatever access-point process it is currently attached to.  Attachment is
+    driven externally by the mobility model / scenario code through
+    :meth:`attach`, :meth:`detach` and :meth:`handover`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: Process,
+        latency: float = 0.002,
+        connect_latency: float = 0.05,
+    ):
+        self.sim = sim
+        self.device = device
+        self.latency = latency
+        self.connect_latency = connect_latency
+        self.current_ap: Optional[Process] = None
+        self._link: Optional[Link] = None
+        self.stats = WirelessStats()
+        self._on_connect: List[ConnectionCallback] = []
+        self._on_disconnect: List[ConnectionCallback] = []
+
+    # ------------------------------------------------------------ awareness
+    @property
+    def connected(self) -> bool:
+        """Connection awareness: is the device currently attached to an access point?"""
+        return self.current_ap is not None and self._link is not None and self._link.up
+
+    @property
+    def access_point_name(self) -> Optional[str]:
+        return self.current_ap.name if self.current_ap is not None else None
+
+    def on_connect(self, callback: ConnectionCallback) -> None:
+        """Register a callback invoked (with the AP name) after each attach completes."""
+        self._on_connect.append(callback)
+
+    def on_disconnect(self, callback: ConnectionCallback) -> None:
+        """Register a callback invoked (with the AP name) after each detach."""
+        self._on_disconnect.append(callback)
+
+    # ------------------------------------------------------------ attachment
+    def attach(self, access_point: Process, immediate: bool = False) -> None:
+        """Attach the device to ``access_point``.
+
+        The attachment completes after ``connect_latency`` simulated seconds
+        (associating with the access point, establishing the virtual-client
+        connection), unless ``immediate`` is set.
+        """
+        if self.current_ap is not None:
+            self.detach()
+        delay = 0.0 if immediate else self.connect_latency
+        self.sim.schedule(delay, self._complete_attach, access_point)
+
+    def _complete_attach(self, access_point: Process) -> None:
+        if self.current_ap is not None:
+            # A concurrent attach won; ignore the stale completion.
+            return
+        self.current_ap = access_point
+        self._link = Link(self.sim, self.device, access_point, latency=self.latency)
+        self.stats.connects += 1
+        self.stats.attachment_history.append((self.sim.now, "attach", access_point.name))
+        for callback in list(self._on_connect):
+            callback(access_point.name)
+
+    def detach(self) -> None:
+        """Detach from the current access point (range loss, power-off, roaming)."""
+        if self.current_ap is None:
+            return
+        ap_name = self.current_ap.name
+        if self._link is not None:
+            self._link.disconnect()
+        self.current_ap = None
+        self._link = None
+        self.stats.disconnects += 1
+        self.stats.attachment_history.append((self.sim.now, "detach", ap_name))
+        for callback in list(self._on_disconnect):
+            callback(ap_name)
+
+    def handover(self, new_access_point: Process, gap: float = 0.0) -> None:
+        """Detach from the current AP and attach to ``new_access_point``.
+
+        ``gap`` models the out-of-coverage interval between leaving the old
+        cell and associating with the new one.
+        """
+        self.stats.handovers += 1
+        self.detach()
+        self.sim.schedule(gap, self.attach, new_access_point)
+
+    # ------------------------------------------------------------- messaging
+    def send_up(self, message: Message) -> bool:
+        """Send a message from the device to the current access point.
+
+        Returns ``False`` (and counts a drop) if the device is disconnected —
+        the caller decides whether to buffer and retry.
+        """
+        if not self.connected or self.current_ap is None:
+            self.stats.dropped_while_disconnected += 1
+            return False
+        self.stats.messages_up += 1
+        self.device.send(self.current_ap.name, message)
+        return True
+
+    def link_stats(self) -> Optional[LinkStats]:
+        if self._link is None:
+            return None
+        return self._link.stats_a_to_b
+
+
+class CoverageMap:
+    """Maps physical positions to the access points that cover them.
+
+    The scenario code uses a coverage map to decide, whenever the mobility
+    model moves a device, which border broker (if any) is "in reachable
+    distance" — the second half of the paper's connection-awareness
+    assumption.
+    """
+
+    def __init__(self) -> None:
+        self._cells: Dict[str, str] = {}
+
+    def set_cell(self, cell_id: str, access_point_name: str) -> None:
+        """Declare that physical cell ``cell_id`` is covered by ``access_point_name``."""
+        self._cells[cell_id] = access_point_name
+
+    def access_point_for(self, cell_id: str) -> Optional[str]:
+        """Return the covering access point's name, or ``None`` if out of coverage."""
+        return self._cells.get(cell_id)
+
+    def cells_of(self, access_point_name: str) -> List[str]:
+        return [cell for cell, ap in self._cells.items() if ap == access_point_name]
+
+    def __contains__(self, cell_id: str) -> bool:
+        return cell_id in self._cells
+
+    def __len__(self) -> int:
+        return len(self._cells)

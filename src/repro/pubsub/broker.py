@@ -1,0 +1,185 @@
+"""Brokers: the routing processes of the notification service.
+
+The paper distinguishes three broker roles (Sect. 2):
+
+* *local brokers* are part of the communication library loaded into clients;
+  they are not vertices of the broker graph (see :mod:`repro.pubsub.client`);
+* *border brokers* form the boundary of the middleware and maintain
+  connections to local brokers (i.e. clients, virtual clients, replicators);
+* *inner brokers* are only connected to other brokers.
+
+A single :class:`Broker` class implements both border and inner behaviour —
+the difference is simply whether any client links are attached.  Brokers
+forward ``subscribe``/``unsubscribe``/``publish`` messages according to a
+pluggable routing strategy (:mod:`repro.pubsub.routing`) and deliver
+``notify`` messages to matching client links.  The routing decision is a
+single event in the simulator, which preserves the end-to-end sender-FIFO
+characteristic the paper assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set
+
+from ..net.process import Message, Process
+from ..net.simulator import Simulator
+from .filters import Filter
+from .notification import Notification
+from .routing import RoutingStrategy, make_strategy
+from .routing_table import RoutingTable
+from .subscription import Subscription
+
+
+class Broker(Process):
+    """A routing process in the acyclic broker network.
+
+    Parameters
+    ----------
+    sim:
+        The discrete-event simulator.
+    name:
+        Unique broker name (e.g. ``"B1"``).
+    routing:
+        Name of the routing strategy (``"flooding"``, ``"simple"``,
+        ``"identity"``, ``"covering"``, ``"merging"``).  The paper assumes
+        simple routing throughout, which is the default here.
+    """
+
+    def __init__(self, sim: Simulator, name: str, routing: str = "simple"):
+        super().__init__(sim, name)
+        self.routing_table = RoutingTable()
+        self.routing_strategy_name = routing
+        self.strategy: RoutingStrategy = make_strategy(routing, self)
+        self._broker_peers: Set[str] = set()
+        # metrics
+        self.notifications_routed = 0
+        self.notifications_delivered_locally = 0
+        self.subscriptions_handled = 0
+        self.unsubscriptions_handled = 0
+        self.duplicate_publishes_dropped = 0
+        self._seen_notification_ids: Set[int] = set()
+        self.deduplicate = False
+
+    # ------------------------------------------------------------------ wiring
+    def register_broker_peer(self, peer_name: str) -> None:
+        """Declare that the link towards ``peer_name`` leads to another broker."""
+        self._broker_peers.add(peer_name)
+
+    def unregister_broker_peer(self, peer_name: str) -> None:
+        self._broker_peers.discard(peer_name)
+
+    def broker_neighbors(self) -> List[str]:
+        """Names of neighbouring brokers this broker currently has a link to."""
+        return sorted(peer for peer in self._broker_peers if self.has_link(peer))
+
+    def client_links(self) -> List[str]:
+        """Names of attached client-side processes (local brokers, replicators)."""
+        return sorted(name for name in self.links if name not in self._broker_peers)
+
+    @property
+    def is_border(self) -> bool:
+        """A broker is a border broker iff it has at least one client link."""
+        return bool(self.client_links())
+
+    # --------------------------------------------------------------- messaging
+    def on_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind == "publish":
+            self._handle_publish(message)
+        elif kind == "subscribe":
+            self._handle_subscribe(message)
+        elif kind == "unsubscribe":
+            self._handle_unsubscribe(message)
+        elif kind == "detach":
+            self._handle_detach(message)
+        else:
+            # Unknown kinds (mobility control traffic addressed to co-located
+            # replicators, etc.) are ignored by the plain broker.
+            pass
+
+    # ----------------------------------------------------------- subscriptions
+    def _handle_subscribe(self, message: Message) -> None:
+        subscription: Subscription = message.payload
+        from_link = message.sender or ""
+        self.subscriptions_handled += 1
+        self.strategy.handle_subscribe(subscription, from_link)
+
+    def _handle_unsubscribe(self, message: Message) -> None:
+        payload = message.payload
+        sub_id: str = payload["sub_id"]
+        filter: Filter = payload.get("filter") or Filter(())
+        from_link = message.sender or ""
+        self.unsubscriptions_handled += 1
+        self.strategy.handle_unsubscribe(sub_id, filter, from_link)
+
+    def _handle_detach(self, message: Message) -> None:
+        """A client link announces it is going away: drop all its routing entries."""
+        link = message.sender or ""
+        removed = self.routing_table.remove_link(link)
+        for entry in removed:
+            self.strategy.handle_unsubscribe(entry.sub_id, entry.filter, link)
+
+    # ------------------------------------------------------------ notifications
+    def _handle_publish(self, message: Message) -> None:
+        notification: Notification = message.payload
+        from_link = message.sender or ""
+        if self.deduplicate:
+            if notification.notification_id in self._seen_notification_ids:
+                self.duplicate_publishes_dropped += 1
+                return
+            self._seen_notification_ids.add(notification.notification_id)
+        self.notifications_routed += 1
+        destinations = self.strategy.route(notification, from_link)
+        broker_peers = self._broker_peers
+        for destination in destinations:
+            if not self.has_link(destination):
+                continue
+            if destination in broker_peers:
+                self.send(destination, Message(kind="publish", payload=notification))
+            else:
+                self.notifications_delivered_locally += 1
+                self.send(destination, Message(kind="notify", payload=notification))
+
+    # --------------------------------------------------- strategy callbacks
+    def forward_subscribe(self, subscription: Subscription, link: str) -> None:
+        """Send a ``subscribe`` control message to a neighbouring broker."""
+        if not self.has_link(link):
+            return
+        self.send(link, Message(kind="subscribe", payload=subscription))
+
+    def forward_unsubscribe(self, sub_id: str, filter: Filter, link: str) -> None:
+        """Send an ``unsubscribe`` control message to a neighbouring broker."""
+        if not self.has_link(link):
+            return
+        self.send(link, Message(kind="unsubscribe", payload={"sub_id": sub_id, "filter": filter}))
+
+    # -------------------------------------------------------------------- admin
+    def active_subscription_ids(self) -> Set[str]:
+        return self.routing_table.subscription_ids()
+
+    def routing_table_size(self) -> int:
+        return len(self.routing_table)
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the broker's counters, used by the experiment harness."""
+        return {
+            "routed": self.notifications_routed,
+            "delivered_locally": self.notifications_delivered_locally,
+            "subscriptions": self.subscriptions_handled,
+            "unsubscriptions": self.unsubscriptions_handled,
+            "table_size": self.routing_table_size(),
+            "messages_sent": self.messages_sent,
+            "messages_received": self.messages_received,
+        }
+
+
+class InnerBroker(Broker):
+    """A broker intended to carry only broker-to-broker links (Fig. 2)."""
+
+
+class BorderBroker(Broker):
+    """A broker intended to also carry client links (Fig. 2).
+
+    Functionally identical to :class:`Broker`; the distinct class makes
+    topology descriptions and assertions in tests more readable.
+    """

@@ -1,0 +1,247 @@
+"""Broker network topologies.
+
+"The communication topology of the pub/sub system is given by a graph, which
+is assumed to be acyclic and connected." (Sect. 2, Fig. 2)
+
+:class:`BrokerNetwork` wires :class:`~repro.pubsub.broker.Broker` processes
+together over FIFO links, registers the broker-to-broker peer relationships
+(so brokers can distinguish broker links from client links) and validates the
+acyclic/connected assumption.  The module also provides the standard topology
+builders used by the experiments: line, star, balanced tree and random tree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..net.link import Link, Network
+from ..net.simulator import Simulator
+from .broker import Broker
+from .client import Client
+
+
+class TopologyError(ValueError):
+    """Raised when the broker graph violates the acyclic/connected assumption."""
+
+
+class BrokerNetwork:
+    """A set of brokers connected in an acyclic graph, plus attached clients."""
+
+    def __init__(self, sim: Simulator, routing: str = "simple", link_latency: float = 0.001):
+        self.sim = sim
+        self.routing = routing
+        self.link_latency = link_latency
+        self.network = Network(sim)
+        self.brokers: Dict[str, Broker] = {}
+        self.clients: Dict[str, Client] = {}
+        self._broker_edges: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------ build
+    def add_broker(self, name: str, routing: Optional[str] = None) -> Broker:
+        """Create and register a broker process."""
+        broker = Broker(self.sim, name, routing=routing or self.routing)
+        self.brokers[name] = broker
+        self.network.add_process(broker)
+        return broker
+
+    def connect_brokers(self, a: str, b: str, latency: Optional[float] = None) -> Link:
+        """Create a broker-to-broker link and register the peer relation on both ends."""
+        if a not in self.brokers or b not in self.brokers:
+            raise KeyError(f"both {a!r} and {b!r} must be brokers in this network")
+        link = self.network.connect(a, b, latency=latency if latency is not None else self.link_latency)
+        self.brokers[a].register_broker_peer(b)
+        self.brokers[b].register_broker_peer(a)
+        self._broker_edges.append((a, b))
+        return link
+
+    def add_client(self, name: str, broker_name: str, latency: Optional[float] = None) -> Client:
+        """Create a client process and attach it to a border broker."""
+        client = Client(self.sim, name)
+        self.clients[name] = client
+        self.network.add_process(client)
+        self.attach_client(client, broker_name, latency=latency)
+        return client
+
+    def attach_client(self, client: Client, broker_name: str, latency: Optional[float] = None) -> Link:
+        """Attach an existing client process to ``broker_name`` and connect its local broker."""
+        if broker_name not in self.brokers:
+            raise KeyError(f"{broker_name!r} is not a broker in this network")
+        if client.name not in self.network.processes:
+            self.network.add_process(client)
+            self.clients[client.name] = client
+        link = self.network.connect(client.name, broker_name, latency=latency if latency is not None else self.link_latency)
+        client.connect_to(broker_name)
+        return link
+
+    def add_process(self, process) -> None:
+        """Register a non-broker, non-client process (e.g. a replicator)."""
+        self.network.add_process(process)
+
+    def connect_processes(self, a: str, b: str, latency: Optional[float] = None) -> Link:
+        """Create a link between two arbitrary registered processes."""
+        return self.network.connect(a, b, latency=latency if latency is not None else self.link_latency)
+
+    # -------------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Raise :class:`TopologyError` unless the broker graph is acyclic and connected."""
+        names = list(self.brokers.keys())
+        if not names:
+            return
+        edges = self._broker_edges
+        if len(edges) != len(names) - 1:
+            raise TopologyError(
+                f"an acyclic connected graph over {len(names)} brokers needs exactly "
+                f"{len(names) - 1} edges, found {len(edges)}"
+            )
+        adjacency: Dict[str, List[str]] = {name: [] for name in names}
+        for a, b in edges:
+            adjacency[a].append(b)
+            adjacency[b].append(a)
+        seen = set()
+        stack = [names[0]]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(peer for peer in adjacency[node] if peer not in seen)
+        if seen != set(names):
+            missing = sorted(set(names) - seen)
+            raise TopologyError(f"broker graph is not connected; unreachable: {missing}")
+
+    # ------------------------------------------------------------------ views
+    def broker_edges(self) -> List[Tuple[str, str]]:
+        return list(self._broker_edges)
+
+    def broker_names(self) -> List[str]:
+        return sorted(self.brokers.keys())
+
+    def border_brokers(self) -> List[Broker]:
+        return [broker for broker in self.brokers.values() if broker.is_border]
+
+    def neighbors_of(self, broker_name: str) -> List[str]:
+        """Broker-graph neighbourhood of a broker (used as a default movement graph)."""
+        result = []
+        for a, b in self._broker_edges:
+            if a == broker_name:
+                result.append(b)
+            elif b == broker_name:
+                result.append(a)
+        return sorted(result)
+
+    # ------------------------------------------------------------------ stats
+    def total_messages(self, kind: Optional[str] = None) -> int:
+        return self.network.total_messages(kind)
+
+    def total_bytes(self) -> int:
+        return self.network.total_bytes()
+
+    def broker_link_messages(self, kind: Optional[str] = None) -> int:
+        """Messages that crossed broker-to-broker links only (network load metric)."""
+        total = 0
+        for a, b in self._broker_edges:
+            link = self.network.link_between(a, b)
+            if link is None:
+                continue
+            total += link.total_messages() if kind is None else link.messages_of_kind(kind)
+        return total
+
+    def total_routing_table_size(self) -> int:
+        return sum(broker.routing_table_size() for broker in self.brokers.values())
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Convenience passthrough to the simulator."""
+        return self.sim.run(until=until)
+
+
+# ----------------------------------------------------------------- topologies
+
+
+def line_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
+                  link_latency: float = 0.001, prefix: str = "B") -> BrokerNetwork:
+    """Brokers connected in a chain: B1 - B2 - ... - Bn."""
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
+    for name in names:
+        net.add_broker(name)
+    for left, right in zip(names, names[1:]):
+        net.connect_brokers(left, right)
+    net.validate()
+    return net
+
+
+def star_topology(sim: Simulator, n_leaves: int, routing: str = "simple",
+                  link_latency: float = 0.001, prefix: str = "B") -> BrokerNetwork:
+    """One hub broker connected to ``n_leaves`` border brokers."""
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    hub = net.add_broker(f"{prefix}0")
+    for i in range(n_leaves):
+        leaf = net.add_broker(f"{prefix}{i + 1}")
+        net.connect_brokers(hub.name, leaf.name)
+    net.validate()
+    return net
+
+
+def balanced_tree_topology(sim: Simulator, branching: int, depth: int, routing: str = "simple",
+                           link_latency: float = 0.001, prefix: str = "B") -> BrokerNetwork:
+    """A balanced tree of brokers with the given branching factor and depth."""
+    if branching < 1 or depth < 0:
+        raise ValueError("branching must be >= 1 and depth >= 0")
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    counter = 0
+
+    def make(depth_left: int, parent: Optional[str]) -> None:
+        nonlocal counter
+        counter += 1
+        name = f"{prefix}{counter}"
+        net.add_broker(name)
+        if parent is not None:
+            net.connect_brokers(parent, name)
+        if depth_left > 0:
+            for _ in range(branching):
+                make(depth_left - 1, name)
+
+    make(depth, None)
+    net.validate()
+    return net
+
+
+def random_tree_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
+                         link_latency: float = 0.001, seed: int = 0, prefix: str = "B") -> BrokerNetwork:
+    """A uniformly random tree over ``n_brokers`` brokers (random attachment)."""
+    rng = random.Random(seed)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
+    for name in names:
+        net.add_broker(name)
+    for i in range(1, n_brokers):
+        parent = names[rng.randrange(i)]
+        net.connect_brokers(parent, names[i])
+    net.validate()
+    return net
+
+
+def grid_border_topology(sim: Simulator, rows: int, cols: int, routing: str = "simple",
+                         link_latency: float = 0.001, prefix: str = "B") -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
+    """A broker per grid cell, connected as a spanning tree (row backbones joined by the first column).
+
+    Returns the network and a mapping from ``(row, col)`` cells to broker
+    names.  The physical adjacency of the grid (4-neighbourhood) is what
+    movement graphs are typically built from, while the broker *network*
+    stays an acyclic tree as the paper requires.
+    """
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    cells: Dict[Tuple[int, int], str] = {}
+    for r in range(rows):
+        for c in range(cols):
+            name = f"{prefix}_{r}_{c}"
+            net.add_broker(name)
+            cells[(r, c)] = name
+    for r in range(rows):
+        for c in range(1, cols):
+            net.connect_brokers(cells[(r, c - 1)], cells[(r, c)])
+    for r in range(1, rows):
+        net.connect_brokers(cells[(r - 1, 0)], cells[(r, 0)])
+    net.validate()
+    return net, cells

@@ -1,0 +1,165 @@
+"""Matching engine: find the subscriptions matched by a notification.
+
+Brokers match every incoming notification against their routing table and —
+at border brokers — against the subscriptions of locally attached clients.
+The engine below keeps matching independent from routing so it can be unit
+tested and benchmarked in isolation (experiment E1/E12 use it directly).
+
+Two strategies are provided:
+
+* :class:`BruteForceMatcher` — evaluates every registered filter; the
+  baseline, always correct.
+* :class:`AttributeIndexMatcher` — a pre-selection index on equality
+  constraints (the "counting / pre-filtering" family of algorithms referenced
+  by the paper via [16]).  Candidates are pre-selected by the value of one
+  indexed equality attribute per filter and only those candidates are fully
+  evaluated, so results are identical to brute force.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .filters import Equals, Filter, InSet
+from .notification import Notification
+from .subscription import Subscription
+
+
+class BruteForceMatcher:
+    """Evaluate every registered subscription on every notification."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, Subscription] = {}
+
+    def add(self, subscription: Subscription) -> None:
+        self._subscriptions[subscription.sub_id] = subscription
+
+    def remove(self, sub_id: str) -> Optional[Subscription]:
+        return self._subscriptions.pop(sub_id, None)
+
+    def clear(self) -> None:
+        self._subscriptions.clear()
+
+    def __len__(self) -> int:
+        return len(self._subscriptions)
+
+    def __contains__(self, sub_id: str) -> bool:
+        return sub_id in self._subscriptions
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        return list(self._subscriptions.values())
+
+    def match(self, notification: Mapping) -> List[Subscription]:
+        """Return all subscriptions whose filter matches ``notification``."""
+        return [sub for sub in self._subscriptions.values() if sub.filter.matches(notification)]
+
+    def matching_ids(self, notification: Mapping) -> Set[str]:
+        return {sub.sub_id for sub in self.match(notification)}
+
+
+class AttributeIndexMatcher:
+    """Pre-select candidate subscriptions by one indexed equality attribute.
+
+    For each filter, one ``Equals``/single-value ``InSet`` constraint is
+    chosen as the index key.  At match time only subscriptions whose index key
+    agrees with the notification (plus all unindexable subscriptions) are
+    evaluated in full, which keeps the result identical to brute force while
+    skipping most non-matching filters on selective workloads.
+    """
+
+    def __init__(self) -> None:
+        self._by_key: Dict[Tuple[str, object], Dict[str, Subscription]] = defaultdict(dict)
+        self._unindexed: Dict[str, Subscription] = {}
+        self._index_of: Dict[str, Optional[Tuple[str, object]]] = {}
+        self.full_evaluations = 0
+
+    # ------------------------------------------------------------------ admin
+    def add(self, subscription: Subscription) -> None:
+        key = self._pick_index_key(subscription.filter)
+        self._index_of[subscription.sub_id] = key
+        if key is None:
+            self._unindexed[subscription.sub_id] = subscription
+        else:
+            self._by_key[key][subscription.sub_id] = subscription
+
+    def remove(self, sub_id: str) -> Optional[Subscription]:
+        key = self._index_of.pop(sub_id, None)
+        if key is None:
+            return self._unindexed.pop(sub_id, None)
+        bucket = self._by_key.get(key, {})
+        removed = bucket.pop(sub_id, None)
+        if not bucket and key in self._by_key:
+            del self._by_key[key]
+        return removed
+
+    def clear(self) -> None:
+        self._by_key.clear()
+        self._unindexed.clear()
+        self._index_of.clear()
+
+    def __len__(self) -> int:
+        return len(self._index_of)
+
+    def __contains__(self, sub_id: str) -> bool:
+        return sub_id in self._index_of
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        subs = list(self._unindexed.values())
+        for bucket in self._by_key.values():
+            subs.extend(bucket.values())
+        return subs
+
+    # --------------------------------------------------------------- matching
+    def match(self, notification: Mapping) -> List[Subscription]:
+        candidates: List[Subscription] = list(self._unindexed.values())
+        for (attribute, value), bucket in self._candidate_buckets(notification):
+            candidates.extend(bucket.values())
+        matched = []
+        for sub in candidates:
+            self.full_evaluations += 1
+            if sub.filter.matches(notification):
+                matched.append(sub)
+        return matched
+
+    def matching_ids(self, notification: Mapping) -> Set[str]:
+        return {sub.sub_id for sub in self.match(notification)}
+
+    def _candidate_buckets(self, notification: Mapping):
+        for (attribute, value), bucket in self._by_key.items():
+            if attribute in notification and notification[attribute] == value:
+                yield (attribute, value), bucket
+
+    # ------------------------------------------------------------------ index
+    @staticmethod
+    def _pick_index_key(filter: Filter) -> Optional[Tuple[str, object]]:
+        for constraint in filter.constraints:
+            if isinstance(constraint, Equals):
+                try:
+                    hash(constraint.value)
+                except TypeError:
+                    continue
+                return (constraint.attribute, constraint.value)
+            if isinstance(constraint, InSet) and len(constraint.values) == 1:
+                (value,) = tuple(constraint.values)
+                try:
+                    hash(value)
+                except TypeError:
+                    continue
+                return (constraint.attribute, value)
+        return None
+
+
+def cross_check(
+    matchers: Iterable, notifications: Iterable[Notification]
+) -> bool:
+    """Return True iff all matchers agree on every notification (test helper)."""
+    matchers = list(matchers)
+    for notification in notifications:
+        reference = matchers[0].matching_ids(notification)
+        for other in matchers[1:]:
+            if other.matching_ids(notification) != reference:
+                return False
+    return True

@@ -1,0 +1,115 @@
+"""Notifications: the messages conveyed by the notification service.
+
+A *notification* is "a message that reifies and describes an occurred event"
+(Sect. 2).  REBECA is a content-based system, so a notification is simply a
+set of named attributes; filters are predicates over those attributes.
+
+Notifications in this reproduction are immutable mappings from attribute
+names to values, with a publication timestamp and a unique id so that the
+mobility layer can detect duplicates and measure delivery latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+_notification_ids = itertools.count(1)
+
+
+class Notification(Mapping[str, Any]):
+    """An immutable, content-addressable event description.
+
+    Parameters
+    ----------
+    attributes:
+        The event content, e.g. ``{"service": "temperature", "location": "room-4", "value": 21.5}``.
+    published_at:
+        Simulated publication time, filled in by the publishing client.
+    publisher:
+        Name of the publishing client (informational; routing never uses it).
+    """
+
+    __slots__ = ("_attributes", "notification_id", "published_at", "publisher")
+
+    def __init__(
+        self,
+        attributes: Mapping[str, Any],
+        published_at: Optional[float] = None,
+        publisher: Optional[str] = None,
+        notification_id: Optional[int] = None,
+    ):
+        self._attributes: Dict[str, Any] = dict(attributes)
+        self.notification_id = notification_id if notification_id is not None else next(_notification_ids)
+        self.published_at = published_at
+        self.publisher = publisher
+
+    # ------------------------------------------------------------- Mapping API
+    def __getitem__(self, key: str) -> Any:
+        return self._attributes[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._attributes.get(key, default)
+
+    # ---------------------------------------------------------------- helpers
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        """A copy of the attribute dictionary."""
+        return dict(self._attributes)
+
+    def with_attributes(self, **updates: Any) -> "Notification":
+        """Return a copy with some attributes replaced (new notification id)."""
+        merged = dict(self._attributes)
+        merged.update(updates)
+        return Notification(merged, published_at=self.published_at, publisher=self.publisher)
+
+    def stamped(self, published_at: float, publisher: str) -> "Notification":
+        """Return a copy carrying publication metadata (same id and content)."""
+        return Notification(
+            self._attributes,
+            published_at=published_at,
+            publisher=publisher,
+            notification_id=self.notification_id,
+        )
+
+    def digest(self) -> int:
+        """A stable digest of the notification identity.
+
+        Used by the shared-buffer scheme of Sect. 4 ("virtual clients can keep
+        only the digest (e.g., IDs or hash) of the events").
+        """
+        return hash((self.notification_id, tuple(sorted(self._attributes.items(), key=lambda kv: kv[0]))))
+
+    def estimated_size(self) -> int:
+        """Abstract size in bytes, used for buffer-memory metrics."""
+        total = 24
+        for key, value in self._attributes.items():
+            total += len(key)
+            if isinstance(value, str):
+                total += len(value)
+            else:
+                total += 8
+        return total
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Notification):
+            return NotImplemented
+        return self.notification_id == other.notification_id and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return self.digest()
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in sorted(self._attributes.items()))
+        return f"Notification(#{self.notification_id}, {attrs})"
+
+
+def notification(**attributes: Any) -> Notification:
+    """Convenience constructor: ``notification(service="temperature", value=21)``."""
+    return Notification(attributes)

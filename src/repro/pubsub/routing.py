@@ -1,0 +1,249 @@
+"""Routing strategies.
+
+Section 2 of the paper assumes *simple routing* — "active filters are simply
+added to the routing table according to the link they belong to" and
+forwarded to all other brokers — while noting that REBECA also provides the
+*covering* and *merging* optimisations.  Experiment E12 reproduces that
+substrate comparison, so this module implements the whole family:
+
+* :class:`FloodingRouting` — notifications are flooded through the broker
+  graph, subscriptions never leave their border broker.  The trivially
+  correct baseline with maximal notification traffic.
+* :class:`SimpleRouting` — every subscription is forwarded to every broker.
+* :class:`IdentityRouting` — a subscription is not forwarded over a link if
+  an identical filter has already been forwarded over it.
+* :class:`CoveringRouting` — a subscription is not forwarded over a link if a
+  *covering* filter has already been forwarded over it.
+* :class:`MergingRouting` — like covering, but additionally replaces sets of
+  forwarded filters by a coarser merged filter (imperfect merging: the merge
+  may accept more notifications, which costs traffic but never correctness
+  because border brokers still match against the clients' exact filters).
+
+All strategies are stateful per broker and interact with their broker through
+a narrow interface (`routing_table`, `broker_neighbors`, `forward_subscribe`,
+`forward_unsubscribe`), which keeps them unit-testable with a fake broker.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Set
+
+from .filters import Filter
+from .notification import Notification
+from .subscription import Subscription, next_subscription_id
+
+
+class RoutingBroker(Protocol):
+    """The part of a broker that routing strategies are allowed to see."""
+
+    routing_table: "RoutingTable"
+
+    def broker_neighbors(self) -> List[str]: ...
+
+    def client_links(self) -> List[str]: ...
+
+    def forward_subscribe(self, subscription: Subscription, link: str) -> None: ...
+
+    def forward_unsubscribe(self, sub_id: str, filter: Filter, link: str) -> None: ...
+
+
+from .routing_table import RoutingTable  # noqa: E402  (after Protocol to avoid confusion)
+
+
+class RoutingStrategy:
+    """Base class: subscription-forwarding behaviour shared by all strategies."""
+
+    name = "abstract"
+
+    def __init__(self, broker: RoutingBroker):
+        self.broker = broker
+        # sub_id -> links this broker has forwarded the subscription to
+        self._forwarded: Dict[str, Set[str]] = defaultdict(set)
+
+    # ------------------------------------------------------------ subscriptions
+    def handle_subscribe(self, subscription: Subscription, from_link: str) -> None:
+        """Record the subscription and forward it where the strategy requires."""
+        self.broker.routing_table.add_subscription(subscription, from_link)
+        for link in self._forward_targets(from_link):
+            if self.needs_forwarding(subscription.filter, link):
+                self._do_forward(subscription, link)
+
+    def handle_unsubscribe(self, sub_id: str, filter: Filter, from_link: str) -> None:
+        """Remove the subscription's entry for ``from_link`` and propagate."""
+        self.broker.routing_table.remove(sub_id, link=from_link)
+        forwarded_links = self._forwarded.pop(sub_id, set())
+        for link in forwarded_links:
+            self.broker.forward_unsubscribe(sub_id, filter, link)
+        self._reforward_uncovered(filter, forwarded_links)
+
+    # ------------------------------------------------------------- notifications
+    def route(self, notification: Mapping, from_link: str) -> List[str]:
+        """Return the links the notification must be forwarded on."""
+        return self.broker.routing_table.destinations(notification, exclude=(from_link,))
+
+    # ------------------------------------------------------------------ plumbing
+    def needs_forwarding(self, filter: Filter, link: str) -> bool:
+        """Strategy-specific test: must ``filter`` be advertised over ``link``?"""
+        return True
+
+    def _forward_targets(self, from_link: str) -> List[str]:
+        return [link for link in self.broker.broker_neighbors() if link != from_link]
+
+    def _do_forward(self, subscription: Subscription, link: str) -> None:
+        self._forwarded[subscription.sub_id].add(link)
+        self.broker.forward_subscribe(subscription, link)
+
+    def _forwarded_filters(self, link: str) -> List[Filter]:
+        filters = []
+        for sub_id, links in self._forwarded.items():
+            if link in links:
+                entries = self.broker.routing_table.entries_for_sub(sub_id)
+                filters.extend(entry.filter for entry in entries)
+        return filters
+
+    def _reforward_uncovered(self, removed_filter: Filter, removed_from_links: Set[str]) -> None:
+        """After an unsubscription, re-advertise suppressed subscriptions.
+
+        A strategy that suppressed forwarding of subscription *T* because the
+        removed subscription's filter made it redundant must now forward *T*,
+        otherwise upstream brokers would stop routing T's notifications.
+        """
+        if not removed_from_links:
+            return
+        table = self.broker.routing_table
+        for sub_id in list(table.subscription_ids()):
+            for entry in table.entries_for_sub(sub_id):
+                for link in removed_from_links:
+                    if link == entry.link:
+                        continue
+                    if link in self._forwarded.get(sub_id, set()):
+                        continue
+                    if self.needs_forwarding(entry.filter, link):
+                        shadow = Subscription(
+                            sub_id=sub_id, filter=entry.filter, subscriber=entry.link
+                        )
+                        self._do_forward(shadow, link)
+
+    # -------------------------------------------------------------------- stats
+    def forwarded_count(self) -> int:
+        return sum(len(links) for links in self._forwarded.values())
+
+
+class FloodingRouting(RoutingStrategy):
+    """Flood notifications everywhere; never forward subscriptions."""
+
+    name = "flooding"
+
+    def handle_subscribe(self, subscription: Subscription, from_link: str) -> None:
+        # Only local knowledge: the routing table holds the entry so that the
+        # border broker can deliver to its own clients.
+        self.broker.routing_table.add_subscription(subscription, from_link)
+
+    def handle_unsubscribe(self, sub_id: str, filter: Filter, from_link: str) -> None:
+        self.broker.routing_table.remove(sub_id, link=from_link)
+
+    def route(self, notification: Mapping, from_link: str) -> List[str]:
+        destinations = [
+            link for link in self.broker.broker_neighbors() if link != from_link
+        ]
+        client_targets = self.broker.routing_table.destinations(
+            notification, exclude=set(self.broker.broker_neighbors()) | {from_link}
+        )
+        return sorted(set(destinations) | set(client_targets))
+
+
+class SimpleRouting(RoutingStrategy):
+    """Forward every subscription to every neighbouring broker (the paper's default)."""
+
+    name = "simple"
+
+
+class IdentityRouting(SimpleRouting):
+    """Suppress forwarding of filters identical to one already forwarded on a link."""
+
+    name = "identity"
+
+    def needs_forwarding(self, filter: Filter, link: str) -> bool:
+        return all(existing != filter for existing in self._forwarded_filters(link))
+
+
+class CoveringRouting(SimpleRouting):
+    """Suppress forwarding of filters covered by one already forwarded on a link."""
+
+    name = "covering"
+
+    def needs_forwarding(self, filter: Filter, link: str) -> bool:
+        return not any(existing.covers(filter) for existing in self._forwarded_filters(link))
+
+
+class MergingRouting(CoveringRouting):
+    """Covering plus imperfect merging of forwarded filters.
+
+    When more than ``merge_threshold`` distinct filters have been forwarded on
+    a link, the strategy advertises a single merged filter that covers them
+    and retracts the individual advertisements.  The merge is *imperfect*
+    (it may be broader than the union), which increases notification traffic
+    towards this broker but never loses notifications.
+    """
+
+    name = "merging"
+    merge_threshold = 4
+
+    def __init__(self, broker: RoutingBroker):
+        super().__init__(broker)
+        # link -> merged subscription currently advertised (if any)
+        self._merged_subs: Dict[str, Subscription] = {}
+
+    def handle_subscribe(self, subscription: Subscription, from_link: str) -> None:
+        super().handle_subscribe(subscription, from_link)
+        for link in self._forward_targets(from_link):
+            self._maybe_merge(link)
+
+    def _maybe_merge(self, link: str) -> None:
+        forwarded = self._forwarded_filters(link)
+        if len(forwarded) <= self.merge_threshold:
+            return
+        merged_filter = forwarded[0]
+        for other in forwarded[1:]:
+            merged_filter = merged_filter.merge(other)
+        previous = self._merged_subs.get(link)
+        if previous is not None and previous.filter == merged_filter:
+            return
+        merged = Subscription(
+            sub_id=next_subscription_id("merged"),
+            filter=merged_filter,
+            subscriber="<merged>",
+        )
+        if previous is not None:
+            self.broker.forward_unsubscribe(previous.sub_id, previous.filter, link)
+        self.broker.forward_subscribe(merged, link)
+        self._merged_subs[link] = merged
+        # Retract the fine-grained advertisements now covered by the merge.
+        for sub_id, links in list(self._forwarded.items()):
+            if link in links:
+                entries = self.broker.routing_table.entries_for_sub(sub_id)
+                filters = [entry.filter for entry in entries]
+                if filters and all(merged_filter.covers(f) for f in filters):
+                    self.broker.forward_unsubscribe(sub_id, filters[0], link)
+                    links.discard(link)
+
+
+STRATEGIES = {
+    FloodingRouting.name: FloodingRouting,
+    SimpleRouting.name: SimpleRouting,
+    IdentityRouting.name: IdentityRouting,
+    CoveringRouting.name: CoveringRouting,
+    MergingRouting.name: MergingRouting,
+}
+
+
+def make_strategy(name: str, broker: RoutingBroker) -> RoutingStrategy:
+    """Instantiate the routing strategy called ``name`` for ``broker``."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing strategy {name!r}; available: {sorted(STRATEGIES)}"
+        ) from None
+    return cls(broker)

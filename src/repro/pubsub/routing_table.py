@@ -1,0 +1,161 @@
+"""Routing tables.
+
+"Each broker maintains a routing table that determines in which directions a
+notification is forwarded.  Each table entry is a pair (F, L) containing a
+filter and the link from which it was received, denoting that a matching
+notification is to be forwarded along L." (Sect. 2)
+
+The table additionally records which subscription id produced each entry, so
+that unsubscriptions, relocations and shadow garbage collection can remove
+exactly the right entries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from .filters import Filter
+from .subscription import Subscription
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One (filter, link) pair, annotated with the subscription that created it."""
+
+    filter: Filter
+    link: str
+    sub_id: str
+
+    def matches(self, notification: Mapping) -> bool:
+        return self.filter.matches(notification)
+
+
+class RoutingTable:
+    """The per-broker routing state.
+
+    Entries are grouped by link for efficient forwarding decisions ("which
+    links need this notification?") and indexed by subscription id for
+    efficient removal.
+    """
+
+    def __init__(self) -> None:
+        self._by_link: Dict[str, Dict[str, RouteEntry]] = defaultdict(dict)
+        self._by_sub: Dict[str, List[RouteEntry]] = defaultdict(list)
+
+    # ------------------------------------------------------------------ admin
+    def add(self, filter: Filter, link: str, sub_id: str) -> RouteEntry:
+        """Insert an entry; replaces an existing entry for the same (sub_id, link)."""
+        entry = RouteEntry(filter=filter, link=link, sub_id=sub_id)
+        previous = self._by_link[link].get(sub_id)
+        if previous is not None:
+            self._by_sub[sub_id] = [e for e in self._by_sub[sub_id] if e.link != link]
+        self._by_link[link][sub_id] = entry
+        self._by_sub[sub_id].append(entry)
+        return entry
+
+    def add_subscription(self, subscription: Subscription, link: str) -> RouteEntry:
+        return self.add(subscription.filter, link, subscription.sub_id)
+
+    def remove(self, sub_id: str, link: Optional[str] = None) -> List[RouteEntry]:
+        """Remove entries for ``sub_id`` (on all links, or only on ``link``)."""
+        removed: List[RouteEntry] = []
+        entries = self._by_sub.get(sub_id, [])
+        keep: List[RouteEntry] = []
+        for entry in entries:
+            if link is None or entry.link == link:
+                self._by_link[entry.link].pop(sub_id, None)
+                if not self._by_link[entry.link]:
+                    del self._by_link[entry.link]
+                removed.append(entry)
+            else:
+                keep.append(entry)
+        if keep:
+            self._by_sub[sub_id] = keep
+        else:
+            self._by_sub.pop(sub_id, None)
+        return removed
+
+    def remove_link(self, link: str) -> List[RouteEntry]:
+        """Remove every entry pointing at ``link`` (e.g. a disconnected client)."""
+        entries = list(self._by_link.pop(link, {}).values())
+        for entry in entries:
+            remaining = [e for e in self._by_sub.get(entry.sub_id, []) if e.link != link]
+            if remaining:
+                self._by_sub[entry.sub_id] = remaining
+            else:
+                self._by_sub.pop(entry.sub_id, None)
+        return entries
+
+    def clear(self) -> None:
+        self._by_link.clear()
+        self._by_sub.clear()
+
+    # ---------------------------------------------------------------- queries
+    def destinations(self, notification: Mapping, exclude: Iterable[str] = ()) -> List[str]:
+        """Links (deduplicated, sorted) on which ``notification`` must be forwarded."""
+        excluded = set(exclude)
+        result: Set[str] = set()
+        for link, entries in self._by_link.items():
+            if link in excluded:
+                continue
+            if any(entry.matches(notification) for entry in entries.values()):
+                result.add(link)
+        return sorted(result)
+
+    def matching_entries(self, notification: Mapping, exclude: Iterable[str] = ()) -> List[RouteEntry]:
+        excluded = set(exclude)
+        matched: List[RouteEntry] = []
+        for link, entries in self._by_link.items():
+            if link in excluded:
+                continue
+            matched.extend(entry for entry in entries.values() if entry.matches(notification))
+        return matched
+
+    def entries_for_link(self, link: str) -> List[RouteEntry]:
+        return list(self._by_link.get(link, {}).values())
+
+    def entries_for_sub(self, sub_id: str) -> List[RouteEntry]:
+        return list(self._by_sub.get(sub_id, []))
+
+    def filters_for_link(self, link: str) -> List[Filter]:
+        return [entry.filter for entry in self._by_link.get(link, {}).values()]
+
+    def links(self) -> List[str]:
+        return sorted(self._by_link.keys())
+
+    def subscription_ids(self) -> Set[str]:
+        return set(self._by_sub.keys())
+
+    def has_subscription(self, sub_id: str, link: Optional[str] = None) -> bool:
+        entries = self._by_sub.get(sub_id, [])
+        if link is None:
+            return bool(entries)
+        return any(entry.link == link for entry in entries)
+
+    def covered_by_other_link(self, filter: Filter, excluding_link: str) -> bool:
+        """True if some entry on a link other than ``excluding_link`` covers ``filter``.
+
+        Used by covering-based routing to decide whether forwarding a new
+        subscription towards a neighbour is necessary.
+        """
+        for link, entries in self._by_link.items():
+            if link == excluding_link:
+                continue
+            if any(entry.filter.covers(filter) for entry in entries.values()):
+                return True
+        return False
+
+    def __len__(self) -> int:
+        """Total number of entries (the routing-table size metric of E12)."""
+        return sum(len(entries) for entries in self._by_link.values())
+
+    def size_by_link(self) -> Dict[str, int]:
+        return {link: len(entries) for link, entries in self._by_link.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        for link in sorted(self._by_link):
+            parts.append(f"{link}:{len(self._by_link[link])}")
+        return f"RoutingTable({', '.join(parts)})"

@@ -1,0 +1,281 @@
+"""Tests for brokers, the broker network and the routing strategies.
+
+These are integration-style unit tests: small broker networks are built on
+the simulator and subscriptions/publications flow end to end.  The key
+correctness property — every strategy delivers exactly the notifications the
+subscribers' filters match, no more, no fewer — is also checked
+property-style in ``test_routing_equivalence.py``.
+"""
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.pubsub.broker_network import (
+    BrokerNetwork,
+    TopologyError,
+    balanced_tree_topology,
+    grid_border_topology,
+    line_topology,
+    random_tree_topology,
+    star_topology,
+)
+from repro.pubsub.filters import Equals, Filter, filter_from_dict
+from repro.pubsub.routing import STRATEGIES, make_strategy
+
+
+@pytest.fixture
+def line3():
+    sim = Simulator()
+    net = line_topology(sim, 3)
+    return sim, net
+
+
+class TestTopologies:
+    def test_line_topology_structure(self, line3):
+        _sim, net = line3
+        assert net.broker_names() == ["B1", "B2", "B3"]
+        assert net.neighbors_of("B2") == ["B1", "B3"]
+        assert net.neighbors_of("B1") == ["B2"]
+
+    def test_star_topology(self):
+        net = star_topology(Simulator(), 4)
+        assert len(net.broker_names()) == 5
+        assert len(net.neighbors_of("B0")) == 4
+
+    def test_balanced_tree(self):
+        net = balanced_tree_topology(Simulator(), branching=2, depth=2)
+        assert len(net.broker_names()) == 7
+
+    def test_random_tree_is_valid(self):
+        net = random_tree_topology(Simulator(), 12, seed=3)
+        net.validate()
+        assert len(net.broker_edges()) == 11
+
+    def test_grid_border_topology(self):
+        net, cells = grid_border_topology(Simulator(), 2, 3)
+        assert len(cells) == 6
+        net.validate()
+
+    def test_validation_rejects_cycle(self):
+        sim = Simulator()
+        net = BrokerNetwork(sim)
+        for name in ("A", "B", "C"):
+            net.add_broker(name)
+        net.connect_brokers("A", "B")
+        net.connect_brokers("B", "C")
+        net.connect_brokers("C", "A")
+        with pytest.raises(TopologyError):
+            net.validate()
+
+    def test_validation_rejects_disconnected(self):
+        sim = Simulator()
+        net = BrokerNetwork(sim)
+        for name in ("A", "B", "C", "D"):
+            net.add_broker(name)
+        net.connect_brokers("A", "B")
+        net.connect_brokers("C", "D")
+        with pytest.raises(TopologyError):
+            net.validate()
+
+    def test_connect_unknown_broker_rejected(self):
+        net = BrokerNetwork(Simulator())
+        net.add_broker("A")
+        with pytest.raises(KeyError):
+            net.connect_brokers("A", "nope")
+
+    def test_add_client_to_unknown_broker_rejected(self, line3):
+        _sim, net = line3
+        with pytest.raises(KeyError):
+            net.add_client("c", "B99")
+
+
+class TestBrokerBasics:
+    def test_border_vs_inner(self, line3):
+        sim, net = line3
+        net.add_client("alice", "B1")
+        assert net.brokers["B1"].is_border
+        assert not net.brokers["B2"].is_border
+        assert net.border_brokers() == [net.brokers["B1"]]
+
+    def test_client_links_exclude_broker_peers(self, line3):
+        sim, net = line3
+        net.add_client("alice", "B2")
+        assert net.brokers["B2"].client_links() == ["alice"]
+        assert net.brokers["B2"].broker_neighbors() == ["B1", "B3"]
+
+    def test_stats_snapshot(self, line3):
+        sim, net = line3
+        alice = net.add_client("alice", "B1")
+        bob = net.add_client("bob", "B3")
+        bob.subscribe(filter_from_dict({"service": "t"}))
+        sim.run_until_idle()
+        alice.publish({"service": "t"})
+        sim.run_until_idle()
+        stats = net.brokers["B2"].stats()
+        assert stats["routed"] == 1
+        assert stats["subscriptions"] >= 1
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+class TestEndToEndDelivery:
+    def test_matching_notification_delivered_across_network(self, strategy):
+        sim = Simulator()
+        net = line_topology(sim, 4, routing=strategy)
+        publisher = net.add_client("pub", "B1")
+        subscriber = net.add_client("sub", "B4")
+        subscriber.subscribe(filter_from_dict({"service": "temperature"}))
+        sim.run_until_idle()
+        publisher.publish({"service": "temperature", "value": 1})
+        publisher.publish({"service": "stock", "value": 2})
+        sim.run_until_idle()
+        received = [n["service"] for n in subscriber.received_notifications()]
+        assert received == ["temperature"]
+
+    def test_no_delivery_to_publisher_itself(self, strategy):
+        sim = Simulator()
+        net = line_topology(sim, 2, routing=strategy)
+        client = net.add_client("both", "B1")
+        client.subscribe(filter_from_dict({"service": "t"}))
+        sim.run_until_idle()
+        client.publish({"service": "t"})
+        sim.run_until_idle()
+        # REBECA semantics: the notification is routed back only via the broker,
+        # and the broker never forwards a message back over the link it came from.
+        assert len(client.deliveries) == 0
+
+    def test_multiple_subscribers_all_served(self, strategy):
+        sim = Simulator()
+        net = star_topology(sim, 4, routing=strategy)
+        publisher = net.add_client("pub", "B1")
+        subscribers = [net.add_client(f"s{i}", f"B{i}") for i in range(2, 5)]
+        for sub in subscribers:
+            sub.subscribe(filter_from_dict({"service": "t"}))
+        sim.run_until_idle()
+        publisher.publish({"service": "t"})
+        sim.run_until_idle()
+        assert all(len(sub.deliveries) == 1 for sub in subscribers)
+
+    def test_unsubscribe_stops_delivery(self, strategy):
+        sim = Simulator()
+        net = line_topology(sim, 3, routing=strategy)
+        publisher = net.add_client("pub", "B1")
+        subscriber = net.add_client("sub", "B3")
+        sub = subscriber.subscribe(filter_from_dict({"service": "t"}))
+        sim.run_until_idle()
+        publisher.publish({"service": "t"})
+        sim.run_until_idle()
+        subscriber.unsubscribe(sub)
+        sim.run_until_idle()
+        publisher.publish({"service": "t"})
+        sim.run_until_idle()
+        assert len(subscriber.deliveries) == 1
+
+    def test_unsubscribe_does_not_break_other_subscribers(self, strategy):
+        sim = Simulator()
+        net = line_topology(sim, 3, routing=strategy)
+        publisher = net.add_client("pub", "B1")
+        keep = net.add_client("keep", "B3")
+        leave = net.add_client("leave", "B3")
+        keep.subscribe(filter_from_dict({"service": "t"}))
+        leave_sub = leave.subscribe(filter_from_dict({"service": "t"}))
+        sim.run_until_idle()
+        leave.unsubscribe(leave_sub)
+        sim.run_until_idle()
+        publisher.publish({"service": "t"})
+        sim.run_until_idle()
+        assert len(keep.deliveries) == 1
+        assert len(leave.deliveries) == 0
+
+
+class TestRoutingStrategyBehaviour:
+    def test_simple_routing_traffic_lower_than_flooding(self):
+        results = {}
+        for strategy in ("flooding", "simple"):
+            sim = Simulator()
+            net = line_topology(sim, 6, routing=strategy)
+            publisher = net.add_client("pub", "B1")
+            subscriber = net.add_client("sub", "B2")
+            subscriber.subscribe(filter_from_dict({"service": "t"}))
+            sim.run_until_idle()
+            for _ in range(5):
+                publisher.publish({"service": "other"})
+            sim.run_until_idle()
+            results[strategy] = net.broker_link_messages("publish")
+        assert results["simple"] < results["flooding"]
+
+    def test_covering_suppresses_redundant_forwarding(self):
+        def setup(strategy):
+            sim = Simulator()
+            net = line_topology(sim, 4, routing=strategy)
+            broad = net.add_client("broad", "B1")
+            narrow = net.add_client("narrow", "B1")
+            broad.subscribe(filter_from_dict({"service": "t"}))
+            sim.run_until_idle()
+            narrow.subscribe(filter_from_dict({"service": "t", "location": "r1"}))
+            sim.run_until_idle()
+            return net
+
+        simple = setup("simple")
+        covering = setup("covering")
+        assert covering.broker_link_messages("subscribe") < simple.broker_link_messages("subscribe")
+
+    def test_covering_unsubscribe_reforwards_uncovered(self):
+        sim = Simulator()
+        net = line_topology(sim, 3, routing="covering")
+        broad = net.add_client("broad", "B1")
+        narrow = net.add_client("narrow", "B1")
+        publisher = net.add_client("pub", "B3")
+        broad_sub = broad.subscribe(filter_from_dict({"service": "t"}))
+        sim.run_until_idle()
+        narrow.subscribe(filter_from_dict({"service": "t", "location": "r1"}))
+        sim.run_until_idle()
+        # Remove the covering subscription; the covered one must be re-advertised
+        # so that its notifications still arrive.
+        broad.unsubscribe(broad_sub)
+        sim.run_until_idle()
+        publisher.publish({"service": "t", "location": "r1"})
+        sim.run_until_idle()
+        assert len(narrow.deliveries) == 1
+        assert len(broad.deliveries) == 0
+
+    def test_identity_suppresses_duplicate_filters(self):
+        sim = Simulator()
+        net = line_topology(sim, 3, routing="identity")
+        clients = [net.add_client(f"c{i}", "B1") for i in range(4)]
+        for client in clients:
+            client.subscribe(filter_from_dict({"service": "t"}))
+        sim.run_until_idle()
+        # Only the first identical filter needs to travel to B2 and B3.
+        assert net.broker_link_messages("subscribe") == 2
+
+    def test_unknown_strategy_rejected(self):
+        sim = Simulator()
+        net = line_topology(sim, 2)
+        with pytest.raises(ValueError):
+            make_strategy("nonsense", net.brokers["B1"])
+
+    def test_merging_still_delivers(self):
+        sim = Simulator()
+        net = line_topology(sim, 3, routing="merging")
+        publisher = net.add_client("pub", "B3")
+        subscribers = []
+        for i in range(8):
+            client = net.add_client(f"c{i}", "B1")
+            client.subscribe(filter_from_dict({"service": "t", "value": i}))
+            subscribers.append(client)
+        sim.run_until_idle()
+        for i in range(8):
+            publisher.publish({"service": "t", "value": i})
+        sim.run_until_idle()
+        assert all(len(c.deliveries) == 1 for c in subscribers)
+
+    def test_detach_message_cleans_routing_state(self):
+        sim = Simulator()
+        net = line_topology(sim, 3, routing="simple")
+        subscriber = net.add_client("sub", "B1")
+        subscriber.subscribe(filter_from_dict({"service": "t"}))
+        sim.run_until_idle()
+        assert net.total_routing_table_size() > 0
+        subscriber.disconnect(notify_broker=True)
+        sim.run_until_idle()
+        assert net.brokers["B1"].routing_table.entries_for_link("sub") == []

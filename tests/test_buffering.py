@@ -1,0 +1,246 @@
+"""Unit and property tests for buffering policies, buffers and the shared store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.buffering import (
+    CombinedPolicy,
+    CountBasedPolicy,
+    DigestBuffer,
+    NotificationBuffer,
+    SemanticPolicy,
+    SharedNotificationStore,
+    TimeBasedPolicy,
+    UnboundedPolicy,
+    make_policy,
+)
+from repro.pubsub.notification import Notification
+
+
+def reading(room, value, index=0):
+    return Notification({"service": "temperature", "location": room, "value": value, "i": index})
+
+
+class TestPolicies:
+    def test_unbounded_never_evicts(self):
+        buffer = NotificationBuffer(UnboundedPolicy())
+        for i in range(100):
+            buffer.add(reading("r1", i), now=float(i))
+        assert len(buffer) == 100
+        assert buffer.evicted == 0
+
+    def test_time_based_evicts_old_entries(self):
+        buffer = NotificationBuffer(TimeBasedPolicy(ttl=10.0))
+        buffer.add(reading("r1", 1), now=0.0)
+        buffer.add(reading("r1", 2), now=5.0)
+        buffer.add(reading("r1", 3), now=20.0)  # triggers eviction of the first two
+        assert [n["value"] for n in buffer.contents()] == [3]
+        assert buffer.evicted == 2
+
+    def test_time_based_expire_without_add(self):
+        buffer = NotificationBuffer(TimeBasedPolicy(ttl=5.0))
+        buffer.add(reading("r1", 1), now=0.0)
+        assert buffer.expire(now=10.0) == 1
+        assert len(buffer) == 0
+
+    def test_count_based_keeps_last_n(self):
+        buffer = NotificationBuffer(CountBasedPolicy(max_entries=3))
+        for i in range(10):
+            buffer.add(reading("r1", i), now=float(i))
+        assert [n["value"] for n in buffer.contents()] == [7, 8, 9]
+        assert buffer.evicted == 7
+
+    def test_combined_is_union_of_evictions(self):
+        policy = CombinedPolicy([TimeBasedPolicy(ttl=10.0), CountBasedPolicy(max_entries=2)])
+        buffer = NotificationBuffer(policy)
+        buffer.add(reading("r1", 1), now=0.0)
+        buffer.add(reading("r1", 2), now=1.0)
+        buffer.add(reading("r1", 3), now=20.0)
+        # time policy kills values 1 and 2 (too old); count policy would keep last 2
+        assert [n["value"] for n in buffer.contents()] == [3]
+
+    def test_semantic_nullification(self):
+        policy = SemanticPolicy(lambda n: n.get("location"))
+        buffer = NotificationBuffer(policy)
+        buffer.add(reading("r1", 1), now=0.0)
+        buffer.add(reading("r2", 2), now=1.0)
+        buffer.add(reading("r1", 3), now=2.0)  # nullifies the first r1 reading
+        values = [n["value"] for n in buffer.contents()]
+        assert values == [2, 3]
+
+    def test_semantic_none_key_exempt(self):
+        policy = SemanticPolicy(lambda n: None)
+        buffer = NotificationBuffer(policy)
+        buffer.add(reading("r1", 1), now=0.0)
+        buffer.add(reading("r1", 2), now=1.0)
+        assert len(buffer) == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            TimeBasedPolicy(0)
+        with pytest.raises(ValueError):
+            CountBasedPolicy(0)
+        with pytest.raises(ValueError):
+            CombinedPolicy([])
+
+    def test_make_policy_factory(self):
+        assert isinstance(make_policy("unbounded"), UnboundedPolicy)
+        assert isinstance(make_policy("time", ttl=5), TimeBasedPolicy)
+        assert isinstance(make_policy("count", max_entries=5), CountBasedPolicy)
+        assert isinstance(make_policy("combined"), CombinedPolicy)
+        assert isinstance(make_policy("semantic"), SemanticPolicy)
+        with pytest.raises(ValueError):
+            make_policy("nonsense")
+
+
+class TestNotificationBuffer:
+    def test_drain_returns_in_insertion_order_and_empties(self):
+        buffer = NotificationBuffer()
+        for i in range(5):
+            buffer.add(reading("r1", i), now=float(i))
+        drained = buffer.drain()
+        assert [n["value"] for n in drained] == [0, 1, 2, 3, 4]
+        assert len(buffer) == 0
+        assert buffer.replayed == 5
+
+    def test_drain_applies_policy_first(self):
+        buffer = NotificationBuffer(TimeBasedPolicy(ttl=5.0))
+        buffer.add(reading("r1", 1), now=0.0)
+        buffer.add(reading("r1", 2), now=8.0)
+        drained = buffer.drain(now=10.0)
+        assert [n["value"] for n in drained] == [2]
+
+    def test_clear(self):
+        buffer = NotificationBuffer()
+        buffer.add(reading("r1", 1), now=0.0)
+        assert buffer.clear() == 1
+        assert len(buffer) == 0
+
+    def test_memory_bytes_tracks_content(self):
+        buffer = NotificationBuffer()
+        assert buffer.memory_bytes() == 0
+        buffer.add(reading("r1", 1), now=0.0)
+        assert buffer.memory_bytes() > 0
+
+
+class TestSharedStore:
+    def test_single_storage_for_shared_notifications(self):
+        store = SharedNotificationStore()
+        n = reading("r1", 1)
+        digest_a = store.put(n)
+        digest_b = store.put(n)
+        assert digest_a == digest_b
+        assert len(store) == 1
+        assert store.get(digest_a) is n
+
+    def test_release_garbage_collects_at_zero_references(self):
+        store = SharedNotificationStore()
+        n = reading("r1", 1)
+        digest = store.put(n)
+        store.put(n)
+        store.release(digest)
+        assert len(store) == 1
+        store.release(digest)
+        assert len(store) == 0
+        assert store.collected == 1
+
+    def test_release_unknown_digest_is_noop(self):
+        store = SharedNotificationStore()
+        store.release(12345)
+        assert len(store) == 0
+
+    def test_digest_buffer_drain_fetches_and_releases(self):
+        store = SharedNotificationStore()
+        buffer = DigestBuffer(store)
+        notifications = [reading("r1", i) for i in range(4)]
+        for i, n in enumerate(notifications):
+            buffer.add(n, now=float(i))
+        assert len(store) == 4
+        drained = buffer.drain()
+        assert drained == notifications
+        assert len(store) == 0
+        assert len(buffer) == 0
+
+    def test_digest_buffer_respects_policy(self):
+        store = SharedNotificationStore()
+        buffer = DigestBuffer(store, CountBasedPolicy(max_entries=2))
+        for i in range(5):
+            buffer.add(reading("r1", i), now=float(i))
+        assert len(buffer) == 2
+        assert len(store) == 2  # evicted digests released their store entries
+
+    def test_shared_memory_smaller_than_individual_for_overlap(self):
+        notifications = [reading("r1", i) for i in range(50)]
+        individual = [NotificationBuffer() for _ in range(5)]
+        for buffer in individual:
+            for n in notifications:
+                buffer.add(n, now=0.0)
+        individual_bytes = sum(b.memory_bytes() for b in individual)
+
+        store = SharedNotificationStore()
+        shared = [DigestBuffer(store) for _ in range(5)]
+        for buffer in shared:
+            for n in notifications:
+                buffer.add(n, now=0.0)
+        shared_bytes = store.memory_bytes() + sum(b.memory_bytes() for b in shared)
+        assert shared_bytes < individual_bytes
+
+    def test_digest_buffer_clear_releases(self):
+        store = SharedNotificationStore()
+        buffer = DigestBuffer(store)
+        buffer.add(reading("r1", 1), now=0.0)
+        buffer.clear()
+        assert len(store) == 0
+
+
+# ------------------------------------------------------------------ properties
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    max_entries=st.integers(1, 10),
+    values=st.lists(st.integers(0, 100), min_size=0, max_size=40),
+)
+def test_count_policy_never_exceeds_bound(max_entries, values):
+    buffer = NotificationBuffer(CountBasedPolicy(max_entries))
+    for i, value in enumerate(values):
+        buffer.add(reading("r", value, i), now=float(i))
+        assert len(buffer) <= max_entries
+    # the survivors are exactly the most recent entries, in order
+    survivors = [n["value"] for n in buffer.contents()]
+    assert survivors == values[-len(survivors):] if survivors else values == [] or len(values) >= 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ttl=st.floats(min_value=0.5, max_value=20.0),
+    gaps=st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=30),
+)
+def test_time_policy_only_keeps_fresh_entries(ttl, gaps):
+    buffer = NotificationBuffer(TimeBasedPolicy(ttl))
+    now = 0.0
+    for i, gap in enumerate(gaps):
+        now += gap
+        buffer.add(reading("r", i, i), now=now)
+    for entry in buffer.contents(now=now):
+        pass  # contents() already applied the policy at `now`
+    assert all(now - ttl <= now for _ in buffer.contents(now=now))
+    # explicit check: after expiring at a much later time everything is gone
+    buffer.expire(now + ttl + 1.0)
+    assert len(buffer) == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=st.lists(st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(0, 50)), max_size=30))
+def test_semantic_policy_keeps_exactly_latest_per_key(values):
+    buffer = NotificationBuffer(SemanticPolicy(lambda n: n.get("location")))
+    for i, (room, value) in enumerate(values):
+        buffer.add(reading(room, value, i), now=float(i))
+    contents = buffer.contents()
+    keys = [n["location"] for n in contents]
+    assert len(keys) == len(set(keys))  # at most one entry per semantic key
+    expected_latest = {}
+    for room, value in values:
+        expected_latest[room] = value
+    for n in contents:
+        assert n["value"] == expected_latest[n["location"]]

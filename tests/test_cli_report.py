@@ -1,0 +1,87 @@
+"""Tests for the CLI and the markdown report generator."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS, e13_replicator_ablation
+from repro.experiments.report import (
+    QUICK_OVERRIDES,
+    render_markdown,
+    run_experiments,
+    write_report,
+)
+
+
+class TestReport:
+    def test_run_experiments_subset_with_overrides(self):
+        results = run_experiments(["E7", "E8"], overrides={"E8": {"client_counts": (1, 2)}})
+        assert set(results) == {"E7", "E8"}
+        _title, table = results["E8"]
+        assert table.column("clients") == [1, 2]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiments(["E99"])
+
+    def test_render_markdown_contains_tables(self):
+        results = run_experiments(["E7"])
+        text = render_markdown(results, elapsed=1.0)
+        assert "# Reproduced experiment results" in text
+        assert "## E7" in text
+        assert "| policy |" in text
+
+    def test_write_report_creates_file(self, tmp_path):
+        path = write_report(tmp_path / "report.md", experiment_ids=["E8"], overrides={"E8": {"client_counts": (1, 2)}})
+        content = path.read_text()
+        assert "## E8" in content
+
+    def test_quick_overrides_reference_known_experiments(self):
+        assert set(QUICK_OVERRIDES) <= set(EXPERIMENTS)
+
+
+class TestCli:
+    def test_parser_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["experiments", "E7", "--quick"])
+        assert args.command == "experiments" and args.ids == ["E7"] and args.quick
+
+    def test_info_command(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "repro.core" in output
+        assert "E13" in output
+
+    def test_experiments_command_with_report(self, capsys, tmp_path):
+        report = tmp_path / "out.md"
+        assert main(["experiments", "e7", "--report", str(report)]) == 0
+        output = capsys.readouterr().out
+        assert "E7" in output
+        assert report.exists()
+
+    def test_experiments_command_rejects_unknown(self, capsys):
+        assert main(["experiments", "E99"]) == 2
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_demo_command_runs_quickstart(self, capsys):
+        assert main(["demo", "quickstart"]) == 0
+        assert "alice" in capsys.readouterr().out
+
+
+class TestE13Ablation:
+    def test_registry_includes_ablation(self):
+        assert "E13" in EXPERIMENTS
+
+    def test_ablation_shapes(self):
+        table = e13_replicator_ablation.run(duration=40.0)
+        rows = {row["configuration"]: row for row in table.rows}
+        # unfiltered replay hands strictly more notifications to the device
+        assert rows["unfiltered-replay"]["replayed"] >= rows["baseline"]["replayed"]
+        assert rows["unfiltered-replay"]["replay_discarded"] == 0
+        # a bounded buffer policy reduces the peak buffer memory
+        assert rows["combined-buffer-policy"]["buffer_memory"] <= rows["baseline"]["buffer_memory"]
+        # none of the internal choices may hurt the delivery rate noticeably
+        rates = [row["delivery_rate"] for row in table.rows]
+        assert max(rates) - min(rates) <= 0.05

@@ -1,0 +1,121 @@
+"""Tests for fault injection and the system's behaviour under faults."""
+
+import pytest
+
+from repro.core.location_filter import location_dependent
+from repro.core.middleware import MobilePubSub, MobilitySystemConfig
+from repro.core.location import office_floor_space
+from repro.net.faults import FaultInjector
+from repro.net.link import Network
+from repro.net.process import Message, Process
+from repro.net.simulator import Simulator
+from repro.pubsub.broker_network import line_topology
+from repro.pubsub.filters import Equals, Filter
+
+
+class Echo(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+
+
+@pytest.fixture
+def small_network():
+    sim = Simulator()
+    network = Network(sim)
+    a = network.add_process(Echo(sim, "a"))
+    b = network.add_process(Echo(sim, "b"))
+    c = network.add_process(Echo(sim, "c"))
+    network.connect("a", "b")
+    network.connect("b", "c")
+    return sim, network, a, b, c
+
+
+class TestFaultInjector:
+    def test_link_outage_drops_then_recovers(self, small_network):
+        sim, network, a, b, _c = small_network
+        injector = FaultInjector(sim, network)
+        injector.link_outage("a", "b", start=1.0, duration=2.0)
+        sim.schedule_at(1.5, lambda: a.send("b", Message("during-outage")))
+        sim.schedule_at(4.0, lambda: a.send("b", Message("after-repair")))
+        sim.run_until_idle()
+        kinds = [message.kind for message in b.received]
+        assert kinds == ["after-repair"]
+        assert injector.downtime_events() == (1, 0)
+        assert len(injector.log.of_kind("link_up")) == 1
+
+    def test_cut_link_is_permanent(self, small_network):
+        sim, network, a, b, _c = small_network
+        injector = FaultInjector(sim, network)
+        injector.cut_link("a", "b", at=1.0)
+        sim.schedule_at(2.0, lambda: a.send("b", Message("late")))
+        sim.run_until_idle()
+        assert b.received == []
+
+    def test_unknown_link_or_process_rejected(self, small_network):
+        sim, network, _a, _b, _c = small_network
+        injector = FaultInjector(sim, network)
+        with pytest.raises(KeyError):
+            injector.link_outage("a", "zzz", start=1.0, duration=1.0)
+        with pytest.raises(KeyError):
+            injector.crash_process("zzz", at=1.0)
+
+    def test_crash_and_restart_process(self, small_network):
+        sim, network, a, b, _c = small_network
+        injector = FaultInjector(sim, network)
+        injector.crash_for("b", start=1.0, duration=2.0)
+        sim.schedule_at(1.5, lambda: a.send("b", Message("while-down")))
+        sim.schedule_at(4.0, lambda: a.send("b", Message("while-up")))
+        sim.run_until_idle()
+        assert [message.kind for message in b.received] == ["while-up"]
+        assert injector.downtime_events() == (0, 1)
+
+    def test_partition_disables_all_crossing_links(self, small_network):
+        sim, network, a, _b, c = small_network
+        injector = FaultInjector(sim, network)
+        affected = injector.partition(["a"], ["b", "c"], start=1.0, duration=1.0)
+        assert affected == 1
+        sim.schedule_at(1.5, lambda: a.send("b", Message("blocked")))
+        sim.run_until_idle()
+        assert len(injector.log) == 2  # down + up
+
+
+class TestSystemUnderFaults:
+    def test_broker_link_outage_loses_only_the_outage_window(self):
+        sim = Simulator()
+        network = line_topology(sim, 3)
+        publisher = network.add_client("pub", "B1")
+        subscriber = network.add_client("sub", "B3")
+        subscriber.subscribe(Filter([Equals("service", "t")]))
+        sim.run_until_idle()
+        injector = FaultInjector(sim, network.network)
+        injector.link_outage("B2", "B3", start=5.0, duration=5.0)
+        for second in range(15):
+            sim.schedule_at(second + 0.01, lambda s=second: publisher.publish({"service": "t", "seq": s}))
+        sim.run_until_idle()
+        received = sorted(d.notification["seq"] for d in subscriber.deliveries)
+        lost = set(range(15)) - set(received)
+        assert lost  # the outage did lose something
+        assert lost <= set(range(4, 11))  # ...but only within/around the outage window
+
+    def test_mobile_client_rides_out_replicator_link_outage(self):
+        sim = Simulator()
+        space = office_floor_space(n_rooms=6, rooms_per_broker=2)
+        network = line_topology(sim, 3)
+        system = MobilePubSub(sim, network, space, config=MobilitySystemConfig())
+        sensor = system.add_publisher("sensor", space.locations[0])
+        client = system.add_mobile_client("alice")
+        client.subscribe_location(location_dependent({"service": "temperature"}))
+        system.attach(client, location=space.locations[0])
+        sim.run_until_idle()
+
+        injector = FaultInjector(sim, system.network.network)
+        injector.link_outage("R@B1", "B1", start=2.0, duration=1.0)
+        sim.schedule_at(1.0, lambda: sensor.publish({"service": "temperature", "location": space.locations[0], "value": 1}))
+        sim.schedule_at(4.0, lambda: sensor.publish({"service": "temperature", "location": space.locations[0], "value": 2}))
+        sim.run_until_idle()
+        values = [d.notification["value"] for d in client.deliveries]
+        assert values == [1, 2]  # publications outside the outage window still flow

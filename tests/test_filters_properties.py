@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the filter algebra.
+
+Key invariants:
+
+* soundness of covering: if ``f.covers(g)`` then every notification matching
+  ``g`` matches ``f``;
+* soundness of non-overlap: if ``not f.overlaps(g)`` then no notification
+  matches both;
+* the merge of two filters covers both operands;
+* filter equality is consistent with hashing.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pubsub.filters import Equals, Filter, InSet, Prefix, Range
+
+ATTRIBUTES = ["service", "location", "value", "priority"]
+STRING_VALUES = ["a", "b", "c", "room-1", "room-2", "news", "news/sport"]
+
+
+@st.composite
+def constraints(draw):
+    attribute = draw(st.sampled_from(ATTRIBUTES))
+    kind = draw(st.sampled_from(["eq", "in", "range", "prefix"]))
+    if kind == "eq":
+        value = draw(st.sampled_from(STRING_VALUES) | st.integers(-5, 25))
+        return Equals(attribute, value)
+    if kind == "in":
+        values = draw(st.sets(st.sampled_from(STRING_VALUES) | st.integers(-5, 25), min_size=1, max_size=4))
+        return InSet(attribute, values)
+    if kind == "range":
+        low = draw(st.integers(-10, 20))
+        width = draw(st.integers(0, 15))
+        return Range(attribute, low=low, high=low + width)
+    prefix = draw(st.sampled_from(["n", "ne", "news", "news/", "room"]))
+    return Prefix(attribute, prefix)
+
+
+@st.composite
+def filters(draw):
+    return Filter(draw(st.lists(constraints(), min_size=0, max_size=3)))
+
+
+@st.composite
+def notifications(draw):
+    attrs = {}
+    for attribute in ATTRIBUTES:
+        if draw(st.booleans()):
+            attrs[attribute] = draw(st.sampled_from(STRING_VALUES) | st.integers(-10, 30))
+    return attrs
+
+
+@settings(max_examples=200, deadline=None)
+@given(f=filters(), g=filters(), n=notifications())
+def test_covering_is_sound(f, g, n):
+    if f.covers(g) and g.matches(n):
+        assert f.matches(n)
+
+
+@settings(max_examples=200, deadline=None)
+@given(f=filters(), g=filters(), n=notifications())
+def test_non_overlap_is_sound(f, g, n):
+    if not f.overlaps(g):
+        assert not (f.matches(n) and g.matches(n))
+
+
+@settings(max_examples=150, deadline=None)
+@given(f=filters(), g=filters())
+def test_merge_covers_both_operands(f, g):
+    merged = f.merge(g)
+    assert merged.covers(f)
+    assert merged.covers(g)
+
+
+@settings(max_examples=150, deadline=None)
+@given(f=filters(), g=filters(), n=notifications())
+def test_conjoin_is_intersection(f, g, n):
+    combined = f.conjoin(g)
+    assert combined.matches(n) == (f.matches(n) and g.matches(n))
+
+
+@settings(max_examples=150, deadline=None)
+@given(f=filters())
+def test_covering_reflexive(f):
+    assert f.covers(f)
+
+
+@settings(max_examples=150, deadline=None)
+@given(f=filters())
+def test_empty_filter_covers_everything(f):
+    assert Filter(()).covers(f)
+
+
+@settings(max_examples=150, deadline=None)
+@given(f=filters(), g=filters())
+def test_equality_consistent_with_hash(f, g):
+    if f == g:
+        assert hash(f) == hash(g)
+
+
+@settings(max_examples=150, deadline=None)
+@given(f=filters(), n=notifications())
+def test_match_is_deterministic(f, n):
+    assert f.matches(n) == f.matches(n)

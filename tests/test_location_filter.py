@@ -1,0 +1,104 @@
+"""Unit tests for location-dependent filter templates (the myloc marker)."""
+
+import pytest
+
+from repro.core.location import LocationSpace, office_floor_space
+from repro.core.location_filter import (
+    MYLOC,
+    LocationDependentFilter,
+    UnboundLocationError,
+    is_location_relevant,
+    location_dependent,
+)
+from repro.pubsub.filters import Equals, Filter
+
+
+@pytest.fixture
+def space():
+    return LocationSpace(
+        {"r1": "B1", "r2": "B1", "r3": "B2"},
+        adjacency={"r1": {"r2"}, "r2": {"r1", "r3"}, "r3": {"r2"}},
+    )
+
+
+class TestTemplateConstruction:
+    def test_from_dict_spec(self):
+        template = location_dependent({"service": "temperature"})
+        assert isinstance(template, LocationDependentFilter)
+        assert template.static_filter.matches({"service": "temperature"})
+
+    def test_myloc_marker_in_spec_is_tolerated(self):
+        template = location_dependent({"service": "temperature", "location": MYLOC})
+        assert template.static_filter.attributes == ["service"]
+
+    def test_from_prebuilt_filter(self):
+        static = Filter([Equals("service", "menu")])
+        template = location_dependent(static)
+        assert template.static_filter is static
+
+    def test_scope_override_stored(self):
+        template = location_dependent({"service": "weather"}, scope="region")
+        assert template.scope == "region"
+
+
+class TestBinding:
+    def test_bind_adds_location_constraint(self, space):
+        template = location_dependent({"service": "temperature"})
+        bound = template.bind({"r1", "r2"})
+        assert bound.matches({"service": "temperature", "location": "r1"})
+        assert not bound.matches({"service": "temperature", "location": "r3"})
+        assert not bound.matches({"service": "stock", "location": "r1"})
+        assert not bound.matches({"service": "temperature"})  # no location attribute
+
+    def test_bind_empty_set_rejected(self):
+        template = location_dependent({"service": "temperature"})
+        with pytest.raises(UnboundLocationError):
+            template.bind([])
+
+    def test_bind_for_location_uses_space_myloc(self, space):
+        template = location_dependent({"service": "temperature"})
+        bound = template.bind_for_location(space, "r1")
+        assert bound.matches({"service": "temperature", "location": "r1"})
+        assert not bound.matches({"service": "temperature", "location": "r2"})
+
+    def test_bind_for_location_with_scope_override(self, space):
+        template = location_dependent({"service": "temperature"}, scope="neighbourhood")
+        bound = template.bind_for_location(space, "r2")
+        for room in ("r1", "r2", "r3"):
+            assert bound.matches({"service": "temperature", "location": room})
+
+    def test_bind_for_broker_covers_whole_coverage_area(self, space):
+        template = location_dependent({"service": "temperature"})
+        bound = template.bind_for_broker(space, "B1")
+        assert bound.matches({"service": "temperature", "location": "r1"})
+        assert bound.matches({"service": "temperature", "location": "r2"})
+        assert not bound.matches({"service": "temperature", "location": "r3"})
+
+    def test_custom_location_attribute(self, space):
+        template = location_dependent({"service": "t"}, location_attribute="cell")
+        bound = template.bind({"r1"})
+        assert bound.matches({"service": "t", "cell": "r1"})
+        assert not bound.matches({"service": "t", "location": "r1"})
+
+
+class TestHelpers:
+    def test_matches_ignoring_location(self):
+        template = location_dependent({"service": "temperature"})
+        assert template.matches_ignoring_location({"service": "temperature", "location": "anywhere"})
+        assert not template.matches_ignoring_location({"service": "stock"})
+
+    def test_is_location_relevant(self, space):
+        template = location_dependent({"service": "temperature"})
+        notification = {"service": "temperature", "location": "r1"}
+        assert is_location_relevant(notification, template, {"r1"})
+        assert not is_location_relevant(notification, template, {"r3"})
+
+    def test_key_distinguishes_scopes(self):
+        a = location_dependent({"service": "t"})
+        b = location_dependent({"service": "t"}, scope="region")
+        assert a.key() != b.key()
+
+    def test_myloc_is_singleton(self):
+        from repro.core.location_filter import _MyLocMarker
+
+        assert _MyLocMarker() is MYLOC

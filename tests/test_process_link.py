@@ -1,0 +1,184 @@
+"""Unit tests for processes, messages and FIFO links."""
+
+import pytest
+
+from repro.net.link import Link, Network
+from repro.net.process import Message, Process
+from repro.net.simulator import Simulator
+
+
+class Recorder(Process):
+    """A process that records everything it receives."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append((self.sim.now, message))
+
+
+@pytest.fixture
+def pair():
+    sim = Simulator()
+    a = Recorder(sim, "a")
+    b = Recorder(sim, "b")
+    link = Link(sim, a, b, latency=0.5)
+    return sim, a, b, link
+
+
+class TestMessage:
+    def test_unique_ids(self):
+        assert Message("x").msg_id != Message("x").msg_id
+
+    def test_copy_gets_fresh_id_same_payload(self):
+        original = Message("publish", payload={"k": 1}, meta={"m": 2})
+        duplicate = original.copy()
+        assert duplicate.msg_id != original.msg_id
+        assert duplicate.payload == original.payload
+        assert duplicate.meta == original.meta
+
+    def test_size_grows_with_payload(self):
+        small = Message("x", payload="a")
+        large = Message("x", payload="a" * 500)
+        assert large.size() > small.size()
+
+    def test_size_uses_estimated_size_hook(self):
+        class Sized:
+            def estimated_size(self):
+                return 1234
+
+        assert Message("x", payload=Sized()).size() >= 1234
+
+
+class TestLinkDelivery:
+    def test_message_arrives_after_latency(self, pair):
+        sim, a, b, _link = pair
+        a.send("b", Message("ping", payload=1))
+        sim.run_until_idle()
+        assert len(b.received) == 1
+        time, message = b.received[0]
+        assert time == pytest.approx(0.5)
+        assert message.sender == "a"
+        assert message.payload == 1
+
+    def test_bidirectional(self, pair):
+        sim, a, b, _link = pair
+        a.send("b", Message("ping"))
+        b.send("a", Message("pong"))
+        sim.run_until_idle()
+        assert len(a.received) == 1
+        assert len(b.received) == 1
+
+    def test_fifo_order_preserved(self, pair):
+        sim, a, b, _link = pair
+        for i in range(20):
+            a.send("b", Message("seq", payload=i))
+        sim.run_until_idle()
+        payloads = [message.payload for _t, message in b.received]
+        assert payloads == list(range(20))
+
+    def test_fifo_preserved_even_if_latency_drops_mid_stream(self, pair):
+        sim, a, b, link = pair
+        a.send("b", Message("seq", payload=0))
+        link.latency = 0.01  # later message would overtake without the FIFO floor
+        a.send("b", Message("seq", payload=1))
+        sim.run_until_idle()
+        payloads = [message.payload for _t, message in b.received]
+        assert payloads == [0, 1]
+
+    def test_send_without_link_raises(self, pair):
+        sim, a, _b, _link = pair
+        with pytest.raises(KeyError):
+            a.send("nobody", Message("x"))
+
+    def test_dead_process_ignores_messages(self, pair):
+        sim, a, b, _link = pair
+        b.shutdown()
+        a.send("b", Message("x"))
+        sim.run_until_idle()
+        assert b.received == []
+
+    def test_counters(self, pair):
+        sim, a, b, link = pair
+        a.send("b", Message("x"))
+        a.send("b", Message("y"))
+        sim.run_until_idle()
+        assert a.messages_sent == 2
+        assert b.messages_received == 2
+        assert link.total_messages() == 2
+        assert link.stats_a_to_b.messages == 2
+        assert link.stats_b_to_a.messages == 0
+        assert link.messages_of_kind("x") == 1
+
+
+class TestLinkFailure:
+    def test_down_link_drops_messages(self, pair):
+        sim, a, b, link = pair
+        link.set_up(False)
+        a.send("b", Message("x"))
+        sim.run_until_idle()
+        assert b.received == []
+        assert link.stats_a_to_b.dropped == 1
+
+    def test_disconnect_detaches_endpoints(self, pair):
+        sim, a, b, link = pair
+        link.disconnect()
+        assert not a.has_link("b")
+        assert not b.has_link("a")
+
+    def test_in_flight_messages_still_delivered_after_disconnect(self, pair):
+        sim, a, b, link = pair
+        a.send("b", Message("x"))
+        link.disconnect()
+        sim.run_until_idle()
+        assert len(b.received) == 1
+
+    def test_in_flight_dropped_when_configured(self):
+        sim = Simulator()
+        a = Recorder(sim, "a")
+        b = Recorder(sim, "b")
+        link = Link(sim, a, b, latency=0.5, deliver_in_flight_on_down=False)
+        a.send("b", Message("x"))
+        link.set_up(False)
+        sim.run_until_idle()
+        assert b.received == []
+
+    def test_reconnect_restores_delivery(self, pair):
+        sim, a, b, link = pair
+        link.disconnect()
+        link.reconnect()
+        a.send("b", Message("x"))
+        sim.run_until_idle()
+        assert len(b.received) == 1
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        a = Recorder(sim, "a")
+        b = Recorder(sim, "b")
+        with pytest.raises(ValueError):
+            Link(sim, a, b, latency=-1.0)
+
+
+class TestNetwork:
+    def test_duplicate_process_names_rejected(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.add_process(Recorder(sim, "a"))
+        with pytest.raises(ValueError):
+            network.add_process(Recorder(sim, "a"))
+
+    def test_connect_and_lookup(self):
+        sim = Simulator()
+        network = Network(sim)
+        a = network.add_process(Recorder(sim, "a"))
+        b = network.add_process(Recorder(sim, "b"))
+        network.connect("a", "b", latency=0.1)
+        assert network.link_between("a", "b") is not None
+        assert network.link_between("b", "a") is not None
+        assert network.link_between("a", "c") is None
+        a.send("b", Message("hello"))
+        sim.run_until_idle()
+        assert network.total_messages() == 1
+        assert network.total_messages("hello") == 1
+        assert network.total_bytes() > 0

@@ -1,0 +1,184 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.net.simulator import PeriodicTask, SimulationError, Simulator, drain
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self):
+        sim = Simulator()
+        assert sim.now == 0.0
+
+    def test_custom_start_time(self):
+        sim = Simulator(start_time=5.0)
+        assert sim.now == 5.0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_run_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule(1.0, order.append, label)
+        sim.run_until_idle()
+        assert order == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4.5, lambda: seen.append(sim.now))
+        sim.run_until_idle()
+        assert seen == [4.5]
+        assert sim.now == 4.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run_until_idle()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_call_now_runs_after_pending_same_time_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(0.0, order.append, "scheduled")
+        sim.call_now(order.append, "called-now")
+        sim.run_until_idle()
+        assert order == ["scheduled", "called-now"]
+
+    def test_events_scheduled_from_within_events(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run_until_idle()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        ran = []
+        handle = sim.schedule(1.0, lambda: ran.append(True))
+        handle.cancel()
+        sim.run_until_idle()
+        assert ran == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep.cancelled is False
+
+    def test_clear_drops_everything(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.clear()
+        assert sim.pending == 0
+        assert sim.run_until_idle() == 0.0
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "early")
+        sim.schedule(10.0, seen.append, "late")
+        sim.run(until=5.0)
+        assert seen == ["early"]
+        assert sim.now == 5.0
+        sim.run_until_idle()
+        assert seen == ["early", "late"]
+
+    def test_run_respects_max_events(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run(max_events=3)
+        assert sim.events_processed == 3
+        assert sim.pending == 7
+
+    def test_counters(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run_until_idle()
+        assert sim.events_scheduled == 2
+        assert sim.events_processed == 2
+
+    def test_drain_helper_advances_in_steps(self):
+        sim = Simulator()
+        times = []
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda t=t: times.append(t))
+        drain(sim, [1.5, 2.5])
+        assert times == [1.0, 2.0]
+        assert sim.now == 2.5
+
+
+class TestPeriodicTask:
+    def test_fires_at_fixed_period(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, period=2.0, callback=lambda: times.append(sim.now), until=10.0)
+        sim.run_until_idle()
+        assert times == [0.0, 2.0, 4.0, 6.0, 8.0, 10.0]
+
+    def test_start_delay(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(sim, period=5.0, callback=lambda: times.append(sim.now), start_delay=1.0, until=12.0)
+        sim.run_until_idle()
+        assert times == [1.0, 6.0, 11.0]
+
+    def test_stop_prevents_further_firing(self):
+        sim = Simulator()
+        count = []
+        task = PeriodicTask(sim, period=1.0, callback=lambda: count.append(1), until=100.0)
+        sim.run(until=3.5)
+        task.stop()
+        sim.run_until_idle()
+        assert len(count) == 4  # t = 0, 1, 2, 3
+
+    def test_until_bound_terminates_queue(self):
+        sim = Simulator()
+        PeriodicTask(sim, period=1.0, callback=lambda: None, until=5.0)
+        sim.run_until_idle()
+        assert sim.pending == 0
+
+    def test_rejects_non_positive_period(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            PeriodicTask(sim, period=0.0, callback=lambda: None)
+
+    def test_jitter_applied(self):
+        sim = Simulator()
+        times = []
+        PeriodicTask(
+            sim, period=2.0, callback=lambda: times.append(sim.now), jitter=lambda: 0.5, until=9.0
+        )
+        sim.run_until_idle()
+        assert times == pytest.approx([0.0, 2.5, 5.0, 7.5])

@@ -1,0 +1,134 @@
+"""Unit tests for the wireless channel (connection awareness)."""
+
+import pytest
+
+from repro.net.process import Message, Process
+from repro.net.simulator import Simulator
+from repro.net.wireless import CoverageMap, WirelessChannel
+
+
+class Device(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+
+
+class AccessPoint(Process):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(message)
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    device = Device(sim, "device")
+    ap1 = AccessPoint(sim, "ap1")
+    ap2 = AccessPoint(sim, "ap2")
+    channel = WirelessChannel(sim, device, latency=0.01, connect_latency=0.1)
+    return sim, device, ap1, ap2, channel
+
+
+class TestAttachment:
+    def test_initially_disconnected(self, setup):
+        _sim, _device, _ap1, _ap2, channel = setup
+        assert not channel.connected
+        assert channel.access_point_name is None
+
+    def test_attach_completes_after_connect_latency(self, setup):
+        sim, _device, ap1, _ap2, channel = setup
+        channel.attach(ap1)
+        assert not channel.connected  # not yet
+        sim.run_until_idle()
+        assert channel.connected
+        assert channel.access_point_name == "ap1"
+        assert sim.now == pytest.approx(0.1)
+
+    def test_immediate_attach(self, setup):
+        sim, _device, ap1, _ap2, channel = setup
+        channel.attach(ap1, immediate=True)
+        sim.run_until_idle()
+        assert channel.connected
+
+    def test_connect_callbacks_fire(self, setup):
+        sim, _device, ap1, _ap2, channel = setup
+        events = []
+        channel.on_connect(lambda ap: events.append(("connect", ap)))
+        channel.on_disconnect(lambda ap: events.append(("disconnect", ap)))
+        channel.attach(ap1)
+        sim.run_until_idle()
+        channel.detach()
+        assert events == [("connect", "ap1"), ("disconnect", "ap1")]
+
+    def test_handover_switches_access_point(self, setup):
+        sim, _device, ap1, ap2, channel = setup
+        channel.attach(ap1)
+        sim.run_until_idle()
+        channel.handover(ap2, gap=1.0)
+        assert not channel.connected
+        sim.run_until_idle()
+        assert channel.access_point_name == "ap2"
+        assert channel.stats.handovers == 1
+        assert channel.stats.connects == 2
+        assert channel.stats.disconnects == 1
+
+    def test_attachment_history_recorded(self, setup):
+        sim, _device, ap1, ap2, channel = setup
+        channel.attach(ap1)
+        sim.run_until_idle()
+        channel.detach()
+        channel.attach(ap2)
+        sim.run_until_idle()
+        kinds = [entry[1] for entry in channel.stats.attachment_history]
+        assert kinds == ["attach", "detach", "attach"]
+
+
+class TestMessaging:
+    def test_send_up_when_connected(self, setup):
+        sim, _device, ap1, _ap2, channel = setup
+        channel.attach(ap1)
+        sim.run_until_idle()
+        assert channel.send_up(Message("hello")) is True
+        sim.run_until_idle()
+        assert len(ap1.received) == 1
+        assert ap1.received[0].sender == "device"
+
+    def test_send_up_while_disconnected_is_counted(self, setup):
+        _sim, _device, _ap1, _ap2, channel = setup
+        assert channel.send_up(Message("hello")) is False
+        assert channel.stats.dropped_while_disconnected == 1
+
+    def test_downlink_reaches_device(self, setup):
+        sim, device, ap1, _ap2, channel = setup
+        channel.attach(ap1)
+        sim.run_until_idle()
+        ap1.send("device", Message("notify", payload=42))
+        sim.run_until_idle()
+        assert device.received[0].payload == 42
+
+    def test_detach_removes_links(self, setup):
+        sim, device, ap1, _ap2, channel = setup
+        channel.attach(ap1)
+        sim.run_until_idle()
+        channel.detach()
+        assert not device.has_link("ap1")
+        assert not ap1.has_link("device")
+
+
+class TestCoverageMap:
+    def test_lookup(self):
+        coverage = CoverageMap()
+        coverage.set_cell("cell-1", "B1")
+        coverage.set_cell("cell-2", "B1")
+        coverage.set_cell("cell-3", "B2")
+        assert coverage.access_point_for("cell-1") == "B1"
+        assert coverage.access_point_for("unknown") is None
+        assert coverage.cells_of("B1") == ["cell-1", "cell-2"]
+        assert "cell-3" in coverage
+        assert len(coverage) == 3
