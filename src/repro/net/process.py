@@ -120,6 +120,24 @@ class Process:
         self.bytes_sent += message.size()
         endpoint.transmit(message)
 
+    def send_many(self, peer_name: str, messages: "list[Message]") -> None:
+        """Send a burst of messages to ``peer_name`` as one batched link event.
+
+        All messages share a single delivery event on the simulator (they
+        arrive at the same time, in list order), so a burst of per-entry
+        control messages — e.g. re-issuing every subscription on reconnect —
+        costs one heap entry per link instead of one per message.  Per-message
+        stats are recorded exactly as with :meth:`send`.
+        """
+        if not messages:
+            return
+        endpoint = self.links[peer_name]
+        for message in messages:
+            message.sender = self.name
+            self.messages_sent += 1
+            self.bytes_sent += message.size()
+        endpoint.transmit_many(messages)
+
     def deliver(self, message: Message) -> None:
         """Entry point used by links to hand a message to this process."""
         if not self.alive:
@@ -149,3 +167,8 @@ class LinkEndpoint:
 
     def transmit(self, message: Message) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def transmit_many(self, messages: "list[Message]") -> None:
+        """Transmit a burst; endpoints that can batch override this."""
+        for message in messages:
+            self.transmit(message)

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Optional
 
 
@@ -28,33 +27,49 @@ class SimulationError(RuntimeError):
     """Raised when the simulator is used incorrectly (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    """Internal heap entry.  Ordering: time, then insertion sequence (stable)."""
-
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
+# Heap entries are plain ``(time, seq, handle)`` tuples: ``seq`` is unique, so
+# comparisons never reach the handle, and tuple ordering avoids the dataclass
+# ``__lt__`` dispatch every simulated message used to pay on push/pop.
 
 
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`, usable for cancellation."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "executed", "_sim", "_epoch")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., Any], args: tuple):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        sim: "Simulator" = None,
+        epoch: int = 0,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.executed = False
+        self._sim = sim
+        self._epoch = epoch
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; it will be skipped when popped."""
+        """Mark the event as cancelled; it will be skipped when popped.
+
+        Cancelling an event that already ran (or was already cancelled) is a
+        no-op — the handle is no longer in the queue, so there is nothing to
+        account for.
+        """
+        if self.cancelled or self.executed:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled(self._epoch)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "cancelled" if self.cancelled else ("executed" if self.executed else "pending")
         name = getattr(self.callback, "__name__", repr(self.callback))
         return f"EventHandle(t={self.time:.3f}, {name}, {state})"
 
@@ -69,11 +84,19 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: list[_ScheduledEvent] = []
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._seq = itertools.count()
         self._running = False
         self.events_processed = 0
         self.events_scheduled = 0
+        # count of cancelled-but-not-yet-popped events, so ``pending`` is O(1);
+        # the epoch guards the counter against handles cancelled after clear()
+        self._cancelled_in_queue = 0
+        self._epoch = 0
+
+    def _note_cancelled(self, epoch: int) -> None:
+        if epoch == self._epoch:
+            self._cancelled_in_queue += 1
 
     # ------------------------------------------------------------------ time
     @property
@@ -95,8 +118,8 @@ class Simulator:
                 f"cannot schedule at t={time:.6f}, which is before now={self._now:.6f}"
             )
         seq = next(self._seq)
-        handle = EventHandle(time, seq, callback, args)
-        heapq.heappush(self._queue, _ScheduledEvent(time, seq, handle))
+        handle = EventHandle(time, seq, callback, args, self, self._epoch)
+        heapq.heappush(self._queue, (time, seq, handle))
         self.events_scheduled += 1
         return handle
 
@@ -108,12 +131,13 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next pending event.  Returns ``False`` if the queue is empty."""
         while self._queue:
-            entry = heapq.heappop(self._queue)
-            handle = entry.handle
+            time, _seq, handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
-            self._now = entry.time
+            self._now = time
             self.events_processed += 1
+            handle.executed = True
             handle.callback(*handle.args)
             return True
         return False
@@ -150,21 +174,26 @@ class Simulator:
         return self.run(max_events=max_events)
 
     def _peek_time(self) -> Optional[float]:
-        while self._queue and self._queue[0].handle.cancelled:
-            heapq.heappop(self._queue)
-        if not self._queue:
+        queue = self._queue
+        while queue and queue[0][2].cancelled:
+            heapq.heappop(queue)
+            self._cancelled_in_queue -= 1
+        if not queue:
             return None
-        return self._queue[0].time
+        return queue[0][0]
 
     # ------------------------------------------------------------------ misc
     @property
     def pending(self) -> int:
-        """Number of non-cancelled events still in the queue."""
-        return sum(1 for entry in self._queue if not entry.handle.cancelled)
+        """Number of non-cancelled events still in the queue (O(1))."""
+        return len(self._queue) - self._cancelled_in_queue
 
     def clear(self) -> None:
         """Drop all pending events (useful between experiment repetitions)."""
         self._queue.clear()
+        self._cancelled_in_queue = 0
+        # cancelling a handle from before the clear must not skew the counter
+        self._epoch += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self._now:.3f}, pending={self.pending})"

@@ -43,11 +43,29 @@ class Broker(Process):
         Name of the routing strategy (``"flooding"``, ``"simple"``,
         ``"identity"``, ``"covering"``, ``"merging"``).  The paper assumes
         simple routing throughout, which is the default here.
+    matcher:
+        Routing-table matching strategy: ``"indexed"`` (default; per-link
+        attribute index, pre-selects candidate entries) or ``"brute"``
+        (evaluate every entry).  Both produce identical forwarding decisions.
+    duplicates_capacity:
+        Maximum number of notification ids remembered for duplicate
+        suppression when :attr:`deduplicate` is on; oldest ids are evicted
+        first, which bounds broker memory on long-running deployments.
     """
 
-    def __init__(self, sim: Simulator, name: str, routing: str = "simple"):
+    #: default bound on the duplicate-suppression memory
+    DEFAULT_DUPLICATES_CAPACITY = 65536
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        routing: str = "simple",
+        matcher: str = "indexed",
+        duplicates_capacity: Optional[int] = None,
+    ):
         super().__init__(sim, name)
-        self.routing_table = RoutingTable()
+        self.routing_table = RoutingTable(matcher=matcher)
         self.routing_strategy_name = routing
         self.strategy: RoutingStrategy = make_strategy(routing, self)
         self._broker_peers: Set[str] = set()
@@ -57,8 +75,23 @@ class Broker(Process):
         self.subscriptions_handled = 0
         self.unsubscriptions_handled = 0
         self.duplicate_publishes_dropped = 0
-        self._seen_notification_ids: Set[int] = set()
+        if duplicates_capacity is not None and duplicates_capacity < 1:
+            raise ValueError("duplicates_capacity must be >= 1 (use deduplicate=False to disable)")
+        self.duplicates_capacity = (
+            duplicates_capacity if duplicates_capacity is not None else self.DEFAULT_DUPLICATES_CAPACITY
+        )
+        self._seen_notification_ids: Dict[int, None] = {}
         self.deduplicate = False
+
+    # ------------------------------------------------------------------ matcher
+    @property
+    def matcher(self) -> str:
+        """The routing-table matching strategy ("brute" or "indexed")."""
+        return self.routing_table.matcher
+
+    def set_matcher(self, matcher: str) -> None:
+        """Switch the routing-table matching strategy (rebuilds the index)."""
+        self.routing_table.set_matcher(matcher)
 
     # ------------------------------------------------------------------ wiring
     def register_broker_peer(self, peer_name: str) -> None:
@@ -124,10 +157,14 @@ class Broker(Process):
         notification: Notification = message.payload
         from_link = message.sender or ""
         if self.deduplicate:
-            if notification.notification_id in self._seen_notification_ids:
+            seen = self._seen_notification_ids
+            if notification.notification_id in seen:
                 self.duplicate_publishes_dropped += 1
                 return
-            self._seen_notification_ids.add(notification.notification_id)
+            seen[notification.notification_id] = None
+            if len(seen) > self.duplicates_capacity:
+                # bounded memory: forget the oldest id (FIFO eviction)
+                del seen[next(iter(seen))]
         self.notifications_routed += 1
         destinations = self.strategy.route(notification, from_link)
         broker_peers = self._broker_peers

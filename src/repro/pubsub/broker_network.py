@@ -28,19 +28,26 @@ class TopologyError(ValueError):
 class BrokerNetwork:
     """A set of brokers connected in an acyclic graph, plus attached clients."""
 
-    def __init__(self, sim: Simulator, routing: str = "simple", link_latency: float = 0.001):
+    def __init__(
+        self,
+        sim: Simulator,
+        routing: str = "simple",
+        link_latency: float = 0.001,
+        matcher: str = "indexed",
+    ):
         self.sim = sim
         self.routing = routing
         self.link_latency = link_latency
+        self.matcher = matcher
         self.network = Network(sim)
         self.brokers: Dict[str, Broker] = {}
         self.clients: Dict[str, Client] = {}
         self._broker_edges: List[Tuple[str, str]] = []
 
     # ------------------------------------------------------------------ build
-    def add_broker(self, name: str, routing: Optional[str] = None) -> Broker:
+    def add_broker(self, name: str, routing: Optional[str] = None, matcher: Optional[str] = None) -> Broker:
         """Create and register a broker process."""
-        broker = Broker(self.sim, name, routing=routing or self.routing)
+        broker = Broker(self.sim, name, routing=routing or self.routing, matcher=matcher or self.matcher)
         self.brokers[name] = broker
         self.network.add_process(broker)
         return broker
@@ -159,9 +166,10 @@ class BrokerNetwork:
 
 
 def line_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
-                  link_latency: float = 0.001, prefix: str = "B") -> BrokerNetwork:
+                  link_latency: float = 0.001, prefix: str = "B",
+                  matcher: str = "indexed") -> BrokerNetwork:
     """Brokers connected in a chain: B1 - B2 - ... - Bn."""
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
         net.add_broker(name)
@@ -172,9 +180,10 @@ def line_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
 
 
 def star_topology(sim: Simulator, n_leaves: int, routing: str = "simple",
-                  link_latency: float = 0.001, prefix: str = "B") -> BrokerNetwork:
+                  link_latency: float = 0.001, prefix: str = "B",
+                  matcher: str = "indexed") -> BrokerNetwork:
     """One hub broker connected to ``n_leaves`` border brokers."""
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
     hub = net.add_broker(f"{prefix}0")
     for i in range(n_leaves):
         leaf = net.add_broker(f"{prefix}{i + 1}")
@@ -184,11 +193,12 @@ def star_topology(sim: Simulator, n_leaves: int, routing: str = "simple",
 
 
 def balanced_tree_topology(sim: Simulator, branching: int, depth: int, routing: str = "simple",
-                           link_latency: float = 0.001, prefix: str = "B") -> BrokerNetwork:
+                           link_latency: float = 0.001, prefix: str = "B",
+                           matcher: str = "indexed") -> BrokerNetwork:
     """A balanced tree of brokers with the given branching factor and depth."""
     if branching < 1 or depth < 0:
         raise ValueError("branching must be >= 1 and depth >= 0")
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
     counter = 0
 
     def make(depth_left: int, parent: Optional[str]) -> None:
@@ -208,10 +218,11 @@ def balanced_tree_topology(sim: Simulator, branching: int, depth: int, routing: 
 
 
 def random_tree_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
-                         link_latency: float = 0.001, seed: int = 0, prefix: str = "B") -> BrokerNetwork:
+                         link_latency: float = 0.001, seed: int = 0, prefix: str = "B",
+                         matcher: str = "indexed") -> BrokerNetwork:
     """A uniformly random tree over ``n_brokers`` brokers (random attachment)."""
     rng = random.Random(seed)
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
         net.add_broker(name)
@@ -223,7 +234,8 @@ def random_tree_topology(sim: Simulator, n_brokers: int, routing: str = "simple"
 
 
 def grid_border_topology(sim: Simulator, rows: int, cols: int, routing: str = "simple",
-                         link_latency: float = 0.001, prefix: str = "B") -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
+                         link_latency: float = 0.001, prefix: str = "B",
+                         matcher: str = "indexed") -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
     """A broker per grid cell, connected as a spanning tree (row backbones joined by the first column).
 
     Returns the network and a mapping from ``(row, col)`` cells to broker
@@ -231,7 +243,7 @@ def grid_border_topology(sim: Simulator, rows: int, cols: int, routing: str = "s
     movement graphs are typically built from, while the broker *network*
     stays an acyclic tree as the paper requires.
     """
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
     cells: Dict[Tuple[int, int], str] = {}
     for r in range(rows):
         for c in range(cols):

@@ -54,9 +54,15 @@ class LocalBroker:
     def connect(self, border_broker_name: str, reissue: bool = True) -> None:
         """Point the local broker at a border broker and (re-)issue subscriptions."""
         self.border_broker = border_broker_name
-        if reissue:
-            for sub in self.subscriptions.values():
-                self._send("subscribe", sub)
+        if reissue and self.subscriptions:
+            if not self.connected:
+                self.client.undeliverable_calls += len(self.subscriptions)
+                return
+            # one batched link event for the whole burst, not one per entry
+            self.client.send_many(
+                border_broker_name,
+                [Message(kind="subscribe", payload=sub) for sub in self.subscriptions.values()],
+            )
 
     def disconnect(self, notify_broker: bool = False) -> None:
         """Forget the border broker; optionally tell it to drop our routing entries."""

@@ -31,14 +31,29 @@ from .notification import Notification
 
 # --------------------------------------------------------------------------- operators
 
+#: Sentinel distinguishing "attribute absent" from any real attribute value.
+_MISSING = object()
+
+
+def _always_true(value: Any) -> bool:
+    return True
+
 
 class Constraint:
-    """A predicate over a single notification attribute."""
+    """A predicate over a single notification attribute.
 
-    __slots__ = ("attribute",)
+    Constraints are treated as immutable once constructed: their identity
+    key and hash are computed once and cached, and :meth:`value_test`
+    returns a plain callable that the filter compiler chains into a fast
+    evaluation path.
+    """
+
+    __slots__ = ("attribute", "_key", "_hash")
 
     def __init__(self, attribute: str):
         self.attribute = attribute
+        self._key: Optional[Tuple] = None
+        self._hash: Optional[int] = None
 
     # -- evaluation ----------------------------------------------------------
     def matches_value(self, value: Any) -> bool:  # pragma: no cover - interface
@@ -49,6 +64,14 @@ class Constraint:
             return False
         return self.matches_value(notification[self.attribute])
 
+    def value_test(self) -> Any:
+        """A ``value -> bool`` callable equivalent to :meth:`matches_value`.
+
+        Subclasses override this to return a closure without per-call
+        attribute lookups; the default is the bound method itself.
+        """
+        return self.matches_value
+
     # -- algebra -------------------------------------------------------------
     def covers(self, other: "Constraint") -> bool:
         """Conservative: True only if every value accepted by ``other`` is accepted by self."""
@@ -58,9 +81,15 @@ class Constraint:
         """Conservative satisfiability of the conjunction; default: assume they might overlap."""
         return True
 
+    def _make_key(self) -> Tuple:  # pragma: no cover - interface
+        raise NotImplementedError
+
     def key(self) -> Tuple:
         """A hashable identity used for equality and routing-table deduplication."""
-        raise NotImplementedError  # pragma: no cover - interface
+        key = self._key
+        if key is None:
+            key = self._key = self._make_key()
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Constraint):
@@ -68,7 +97,10 @@ class Constraint:
         return self.key() == other.key()
 
     def __hash__(self) -> int:
-        return hash(self.key())
+        result = self._hash
+        if result is None:
+            result = self._hash = hash(self.key())
+        return result
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self.describe()})"
@@ -83,10 +115,13 @@ class Exists(Constraint):
     def matches_value(self, value: Any) -> bool:
         return True
 
+    def value_test(self):
+        return _always_true
+
     def covers(self, other: Constraint) -> bool:
         return other.attribute == self.attribute
 
-    def key(self) -> Tuple:
+    def _make_key(self) -> Tuple:
         return ("exists", self.attribute)
 
     def describe(self) -> str:
@@ -103,6 +138,14 @@ class Equals(Constraint):
     def matches_value(self, value: Any) -> bool:
         return value == self.value
 
+    def value_test(self):
+        expected = self.value
+
+        def test(value: Any, _expected=expected) -> bool:
+            return value == _expected
+
+        return test
+
     def covers(self, other: Constraint) -> bool:
         if other.attribute != self.attribute:
             return False
@@ -117,7 +160,7 @@ class Equals(Constraint):
             return True
         return other.matches_value(self.value)
 
-    def key(self) -> Tuple:
+    def _make_key(self) -> Tuple:
         return ("eq", self.attribute, _hashable(self.value))
 
     def describe(self) -> str:
@@ -145,7 +188,7 @@ class NotEquals(Constraint):
             return other.value == self.value
         return False
 
-    def key(self) -> Tuple:
+    def _make_key(self) -> Tuple:
         return ("ne", self.attribute, _hashable(self.value))
 
     def describe(self) -> str:
@@ -167,7 +210,21 @@ class InSet(Constraint):
         self.values = frozenset(values)
 
     def matches_value(self, value: Any) -> bool:
-        return value in self.values
+        try:
+            return value in self.values
+        except TypeError:  # unhashable notification value can never be a member
+            return False
+
+    def value_test(self):
+        members = self.values
+
+        def test(value: Any, _members=members) -> bool:
+            try:
+                return value in _members
+            except TypeError:  # unhashable notification value
+                return False
+
+        return test
 
     def covers(self, other: Constraint) -> bool:
         if other.attribute != self.attribute:
@@ -187,7 +244,7 @@ class InSet(Constraint):
             return bool(self.values & other.values)
         return any(other.matches_value(v) for v in self.values)
 
-    def key(self) -> Tuple:
+    def _make_key(self) -> Tuple:
         return ("in", self.attribute, tuple(sorted(map(repr, self.values))))
 
     def describe(self) -> str:
@@ -258,7 +315,7 @@ class Range(Constraint):
             return True
         return True
 
-    def key(self) -> Tuple:
+    def _make_key(self) -> Tuple:
         return ("range", self.attribute, self.low, self.high, self.include_low, self.include_high)
 
     def describe(self) -> str:
@@ -321,7 +378,7 @@ class Prefix(Constraint):
             return any(self.matches_value(v) for v in other.values)
         return True
 
-    def key(self) -> Tuple:
+    def _make_key(self) -> Tuple:
         return ("prefix", self.attribute, self.prefix)
 
     def describe(self) -> str:
@@ -339,25 +396,72 @@ def _hashable(value: Any) -> Any:
 # --------------------------------------------------------------------------- filters
 
 
+def _compile_matches(constraints: Tuple[Constraint, ...]):
+    """Compile a conjunction of constraints into one ``notification -> bool`` closure.
+
+    The compiled form avoids per-call constraint dispatch: each constraint
+    contributes a ``(attribute, value_test)`` pair captured once, and missing
+    attributes are detected with a sentinel instead of a containment probe
+    followed by a second lookup.
+    """
+    if not constraints:
+        return _match_everything
+    if len(constraints) == 1:
+        (constraint,) = constraints
+        attribute = constraint.attribute
+        test = constraint.value_test()
+
+        def matches_one(notification: Mapping[str, Any], _a=attribute, _t=test) -> bool:
+            value = notification.get(_a, _MISSING)
+            return value is not _MISSING and _t(value)
+
+        return matches_one
+
+    tests = tuple((c.attribute, c.value_test()) for c in constraints)
+
+    def matches(notification: Mapping[str, Any], _tests=tests) -> bool:
+        get = notification.get
+        for attribute, test in _tests:
+            value = get(attribute, _MISSING)
+            if value is _MISSING or not test(value):
+                return False
+        return True
+
+    return matches
+
+
+def _match_everything(notification: Mapping[str, Any]) -> bool:
+    return True
+
+
 class Filter:
     """A conjunction of per-attribute constraints.
 
     The empty filter matches every notification (it is the unit of the
     conjunction); :func:`match_all` returns it explicitly.
+
+    Filters are immutable: the constraint tuple is fixed at construction, at
+    which point :meth:`matches` is precompiled into a closure chain (no
+    per-evaluation generator or method dispatch) and ``key()``/``hash()`` are
+    cached on first use.  Every routing-table candidate pays full filter
+    evaluation, so this is one of the hottest code paths in the system.
     """
 
-    __slots__ = ("_constraints",)
+    __slots__ = ("_constraints", "_matches", "_key", "_hash")
 
     def __init__(self, constraints: Iterable[Constraint] = ()):
         self._constraints: Tuple[Constraint, ...] = tuple(constraints)
+        self._matches = _compile_matches(self._constraints)
+        self._key: Optional[Tuple] = None
+        self._hash: Optional[int] = None
 
     # ------------------------------------------------------------- evaluation
     def matches(self, notification: Mapping[str, Any]) -> bool:
         """True iff every constraint matches the notification."""
-        return all(constraint.matches(notification) for constraint in self._constraints)
+        return self._matches(notification)
 
     def __call__(self, notification: Mapping[str, Any]) -> bool:
-        return self.matches(notification)
+        return self._matches(notification)
 
     # ------------------------------------------------------------------ views
     @property
@@ -427,7 +531,10 @@ class Filter:
 
     # ------------------------------------------------------------------- misc
     def key(self) -> Tuple:
-        return tuple(sorted((c.key() for c in self._constraints), key=repr))
+        key = self._key
+        if key is None:
+            key = self._key = tuple(sorted((c.key() for c in self._constraints), key=repr))
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Filter):
@@ -435,7 +542,10 @@ class Filter:
         return self.key() == other.key()
 
     def __hash__(self) -> int:
-        return hash(self.key())
+        result = self._hash
+        if result is None:
+            result = self._hash = hash(self.key())
+        return result
 
     def __repr__(self) -> str:
         if not self._constraints:

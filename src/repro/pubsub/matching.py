@@ -26,6 +26,34 @@ from .notification import Notification
 from .subscription import Subscription
 
 
+def pick_index_key(filter: Filter) -> Optional[Tuple[str, object]]:
+    """Choose one hashable ``(attribute, value)`` equality pair as index key.
+
+    A filter can be pre-selected by an equality constraint (``Equals`` or a
+    single-value ``InSet``): it can only match notifications that carry
+    exactly that value for the attribute.  Returns ``None`` when the filter
+    has no such constraint — those filters must always be evaluated.
+
+    Shared by :class:`AttributeIndexMatcher` and the routing table's per-link
+    index (:mod:`repro.pubsub.routing_table`).
+    """
+    for constraint in filter.constraints:
+        if isinstance(constraint, Equals):
+            try:
+                hash(constraint.value)
+            except TypeError:
+                continue
+            return (constraint.attribute, constraint.value)
+        if isinstance(constraint, InSet) and len(constraint.values) == 1:
+            (value,) = tuple(constraint.values)
+            try:
+                hash(value)
+            except TypeError:
+                continue
+            return (constraint.attribute, value)
+    return None
+
+
 class BruteForceMatcher:
     """Evaluate every registered subscription on every notification."""
 
@@ -128,28 +156,25 @@ class AttributeIndexMatcher:
         return {sub.sub_id for sub in self.match(notification)}
 
     def _candidate_buckets(self, notification: Mapping):
-        for (attribute, value), bucket in self._by_key.items():
-            if attribute in notification and notification[attribute] == value:
+        """Buckets keyed by the notification's own attribute/value pairs.
+
+        O(notification attributes) dictionary probes instead of a scan over
+        every distinct index key.  Unhashable attribute values cannot appear
+        as index keys (``pick_index_key`` refuses them), so they are skipped.
+        """
+        by_key = self._by_key
+        if not by_key:
+            return
+        for attribute, value in notification.items():
+            try:
+                bucket = by_key.get((attribute, value))
+            except TypeError:  # unhashable notification value
+                continue
+            if bucket:
                 yield (attribute, value), bucket
 
     # ------------------------------------------------------------------ index
-    @staticmethod
-    def _pick_index_key(filter: Filter) -> Optional[Tuple[str, object]]:
-        for constraint in filter.constraints:
-            if isinstance(constraint, Equals):
-                try:
-                    hash(constraint.value)
-                except TypeError:
-                    continue
-                return (constraint.attribute, constraint.value)
-            if isinstance(constraint, InSet) and len(constraint.values) == 1:
-                (value,) = tuple(constraint.values)
-                try:
-                    hash(value)
-                except TypeError:
-                    continue
-                return (constraint.attribute, value)
-        return None
+    _pick_index_key = staticmethod(pick_index_key)
 
 
 def cross_check(

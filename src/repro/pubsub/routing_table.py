@@ -8,16 +8,36 @@ notification is to be forwarded along L." (Sect. 2)
 The table additionally records which subscription id produced each entry, so
 that unsubscriptions, relocations and shadow garbage collection can remove
 exactly the right entries.
+
+Two matching strategies are available (the ``matcher`` knob):
+
+* ``"brute"`` — every entry of every link is evaluated against the
+  notification; the always-correct baseline the paper's testbed uses.
+* ``"indexed"`` (default) — a per-link attribute index in the style of the
+  counting/pre-filtering algorithms the paper references via [16].  Each
+  entry with a hashable equality constraint is bucketed under its
+  ``(attribute, value)`` pair; at match time only the buckets selected by the
+  notification's own attribute/value pairs (plus the unindexable entries)
+  are evaluated, and each link short-circuits on its first matching entry.
+  Results are identical to brute force — the index is purely a candidate
+  pre-selection.
+
+The index is maintained incrementally by :meth:`RoutingTable.add`,
+:meth:`RoutingTable.remove`, :meth:`RoutingTable.remove_link` and
+:meth:`RoutingTable.clear`, so subscription churn never forces a rebuild.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set
 
 from .filters import Filter
+from .matching import pick_index_key
 from .subscription import Subscription
+
+MATCHER_NAMES = ("brute", "indexed")
 
 
 @dataclass(frozen=True)
@@ -32,17 +52,136 @@ class RouteEntry:
         return self.filter.matches(notification)
 
 
+#: Links with at most this many entries are scanned directly even in indexed
+#: mode: probing the index costs about as much as one compiled filter
+#: evaluation, so tiny links (e.g. one subscription per client link) are
+#: faster brute. Correctness is unaffected — both paths are exact.
+SMALL_LINK_SCAN = 4
+
+
+class _LinkIndex:
+    """The attribute index for the entries of a single link.
+
+    ``by_attr`` buckets entries two levels deep — attribute, then equality
+    value — following the ``(attribute, value)`` pair chosen by
+    :func:`~repro.pubsub.matching.pick_index_key`.  Two flat dict probes per
+    notification attribute beat a combined-tuple key: attribute strings cache
+    their hashes, and no tuple is allocated per probe.  ``unindexed`` holds
+    entries with no usable equality constraint, which must always be
+    evaluated.
+    """
+
+    __slots__ = ("by_attr", "unindexed")
+
+    def __init__(self) -> None:
+        self.by_attr: Dict[str, Dict[object, Dict[str, RouteEntry]]] = {}
+        self.unindexed: Dict[str, RouteEntry] = {}
+
+    def add(self, entry: RouteEntry) -> None:
+        key = pick_index_key(entry.filter)
+        if key is None:
+            self.unindexed[entry.sub_id] = entry
+            return
+        attribute, value = key
+        buckets = self.by_attr.get(attribute)
+        if buckets is None:
+            buckets = self.by_attr[attribute] = {}
+        bucket = buckets.get(value)
+        if bucket is None:
+            bucket = buckets[value] = {}
+        bucket[entry.sub_id] = entry
+
+    def discard(self, entry: RouteEntry) -> None:
+        key = pick_index_key(entry.filter)
+        if key is None:
+            self.unindexed.pop(entry.sub_id, None)
+            return
+        attribute, value = key
+        buckets = self.by_attr.get(attribute)
+        if buckets is None:
+            return
+        bucket = buckets.get(value)
+        if bucket is not None:
+            bucket.pop(entry.sub_id, None)
+            if not bucket:
+                del buckets[value]
+                if not buckets:
+                    del self.by_attr[attribute]
+
+    def candidates(self, items) -> Iterator[RouteEntry]:
+        """Yield the entries that could match a notification with ``items``.
+
+        ``items`` is the notification's attribute/value pairs, precomputed
+        once by the caller and shared across every link probed.  Unindexable
+        entries come first, then the buckets selected by the notification's
+        own pairs.  No entry is yielded twice: each lives in exactly one
+        bucket or in ``unindexed``.  This is the single definition of
+        candidate pre-selection; every query path goes through it.
+        """
+        yield from self.unindexed.values()
+        by_attr = self.by_attr
+        if by_attr:
+            for attribute, value in items:
+                buckets = by_attr.get(attribute)
+                if buckets is None:
+                    continue
+                try:
+                    bucket = buckets.get(value)
+                except TypeError:  # unhashable notification value
+                    continue
+                if bucket:
+                    yield from bucket.values()
+
+
 class RoutingTable:
     """The per-broker routing state.
 
     Entries are grouped by link for efficient forwarding decisions ("which
     links need this notification?") and indexed by subscription id for
-    efficient removal.
+    efficient removal.  With ``matcher="indexed"`` each link additionally
+    maintains an attribute index so forwarding decisions only evaluate
+    candidate entries.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, matcher: str = "indexed") -> None:
+        if matcher not in MATCHER_NAMES:
+            raise ValueError(f"unknown matcher {matcher!r}; available: {MATCHER_NAMES}")
+        self._matcher = matcher
         self._by_link: Dict[str, Dict[str, RouteEntry]] = defaultdict(dict)
         self._by_sub: Dict[str, List[RouteEntry]] = defaultdict(list)
+        self._index: Dict[str, _LinkIndex] = {}
+
+    # ----------------------------------------------------------------- matcher
+    @property
+    def matcher(self) -> str:
+        return self._matcher
+
+    def set_matcher(self, matcher: str) -> None:
+        """Switch matching strategy, rebuilding the index from current entries."""
+        if matcher not in MATCHER_NAMES:
+            raise ValueError(f"unknown matcher {matcher!r}; available: {MATCHER_NAMES}")
+        if matcher == self._matcher:
+            return
+        self._matcher = matcher
+        self._index = {}
+        if matcher == "indexed":
+            for link, entries in self._by_link.items():
+                for entry in entries.values():
+                    self._index_add(entry)
+
+    def _index_add(self, entry: RouteEntry) -> None:
+        index = self._index.get(entry.link)
+        if index is None:
+            index = self._index[entry.link] = _LinkIndex()
+        index.add(entry)
+
+    def _index_discard(self, entry: RouteEntry) -> None:
+        index = self._index.get(entry.link)
+        if index is None:
+            return
+        index.discard(entry)
+        if not index.by_attr and not index.unindexed:
+            del self._index[entry.link]
 
     # ------------------------------------------------------------------ admin
     def add(self, filter: Filter, link: str, sub_id: str) -> RouteEntry:
@@ -51,8 +190,12 @@ class RoutingTable:
         previous = self._by_link[link].get(sub_id)
         if previous is not None:
             self._by_sub[sub_id] = [e for e in self._by_sub[sub_id] if e.link != link]
+            if self._matcher == "indexed":
+                self._index_discard(previous)
         self._by_link[link][sub_id] = entry
         self._by_sub[sub_id].append(entry)
+        if self._matcher == "indexed":
+            self._index_add(entry)
         return entry
 
     def add_subscription(self, subscription: Subscription, link: str) -> RouteEntry:
@@ -68,6 +211,8 @@ class RoutingTable:
                 self._by_link[entry.link].pop(sub_id, None)
                 if not self._by_link[entry.link]:
                     del self._by_link[entry.link]
+                if self._matcher == "indexed":
+                    self._index_discard(entry)
                 removed.append(entry)
             else:
                 keep.append(entry)
@@ -80,6 +225,7 @@ class RoutingTable:
     def remove_link(self, link: str) -> List[RouteEntry]:
         """Remove every entry pointing at ``link`` (e.g. a disconnected client)."""
         entries = list(self._by_link.pop(link, {}).values())
+        self._index.pop(link, None)
         for entry in entries:
             remaining = [e for e in self._by_sub.get(entry.sub_id, []) if e.link != link]
             if remaining:
@@ -91,22 +237,55 @@ class RoutingTable:
     def clear(self) -> None:
         self._by_link.clear()
         self._by_sub.clear()
+        self._index.clear()
 
     # ---------------------------------------------------------------- queries
+    def _link_candidates(self, notification: Mapping, excluded):
+        """Yield ``(link, candidate entries)`` per non-excluded link (indexed mode).
+
+        Small links (<= :data:`SMALL_LINK_SCAN` entries) yield their entries
+        directly — probing the index would cost more than evaluating them;
+        larger links go through :meth:`_LinkIndex.candidates`.
+        """
+        items = None
+        index_by_link = self._index
+        for link, entries in self._by_link.items():
+            if link in excluded:
+                continue
+            if len(entries) <= SMALL_LINK_SCAN:
+                yield link, entries.values()
+            else:
+                if items is None:
+                    items = list(notification.items())
+                yield link, index_by_link[link].candidates(items)
+
     def destinations(self, notification: Mapping, exclude: Iterable[str] = ()) -> List[str]:
         """Links (deduplicated, sorted) on which ``notification`` must be forwarded."""
         excluded = set(exclude)
-        result: Set[str] = set()
+        if self._matcher == "indexed":
+            result = []
+            for link, candidates in self._link_candidates(notification, excluded):
+                for entry in candidates:
+                    if entry.filter.matches(notification):
+                        result.append(link)
+                        break
+            result.sort()
+            return result
+        matched: Set[str] = set()
         for link, entries in self._by_link.items():
             if link in excluded:
                 continue
             if any(entry.matches(notification) for entry in entries.values()):
-                result.add(link)
-        return sorted(result)
+                matched.add(link)
+        return sorted(matched)
 
     def matching_entries(self, notification: Mapping, exclude: Iterable[str] = ()) -> List[RouteEntry]:
         excluded = set(exclude)
         matched: List[RouteEntry] = []
+        if self._matcher == "indexed":
+            for link, candidates in self._link_candidates(notification, excluded):
+                matched.extend(e for e in candidates if e.filter.matches(notification))
+            return matched
         for link, entries in self._by_link.items():
             if link in excluded:
                 continue

@@ -1,0 +1,30 @@
+"""Shared test helpers (importable from any test module).
+
+The test directory is not a package, so cross-module imports must go through
+this plain module (``from helpers import FakeHost``) instead of relative
+imports, which break pytest collection.
+"""
+
+
+class FakeHost:
+    """Records what the virtual client asks the replicator to do."""
+
+    def __init__(self):
+        self.time = 0.0
+        self.subscribed = {}
+        self.unsubscribed = []
+        self.delivered = []
+
+    @property
+    def now(self):
+        return self.time
+
+    def issue_subscribe(self, subscription):
+        self.subscribed[subscription.sub_id] = subscription
+
+    def issue_unsubscribe(self, subscription):
+        self.unsubscribed.append(subscription.sub_id)
+        self.subscribed.pop(subscription.sub_id, None)
+
+    def deliver_to_device(self, client_id, notification, replayed):
+        self.delivered.append((client_id, notification, replayed))

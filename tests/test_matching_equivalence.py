@@ -1,0 +1,130 @@
+"""Property-style equivalence of the matching engines.
+
+Feeds randomized subscriptions and notifications through
+:func:`repro.pubsub.matching.cross_check`, covering the cases that exercise
+the index's edges: ``InSet`` constraints (single- and multi-value),
+unhashable filter values (which must take the unindexed fallback path) and
+unhashable notification attribute values (which can never hit an index
+bucket).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pubsub.filters import Equals, Filter, InSet, Prefix, Range, match_all
+from repro.pubsub.matching import (
+    AttributeIndexMatcher,
+    BruteForceMatcher,
+    cross_check,
+    pick_index_key,
+)
+from repro.pubsub.notification import Notification
+from repro.pubsub.subscription import subscription
+
+SERVICES = ["temperature", "stock", "news"]
+LOCATIONS = ["r1", "r2", "r3", "r4"]
+
+
+def random_subscription(rng: random.Random, index: int):
+    roll = rng.random()
+    constraints = []
+    if roll < 0.30:
+        constraints.append(Equals("service", rng.choice(SERVICES)))
+    elif roll < 0.45:
+        constraints.append(InSet("service", [rng.choice(SERVICES)]))
+    elif roll < 0.60:
+        constraints.append(InSet("location", rng.sample(LOCATIONS, rng.randint(1, 3))))
+    elif roll < 0.70:
+        constraints.append(Equals("tags", ["unhashable"]))  # unindexable value
+    elif roll < 0.80:
+        constraints.append(Prefix("service", rng.choice(["t", "s"])))
+    elif roll < 0.90:
+        constraints.append(Range("value", rng.randint(0, 10), rng.randint(10, 40)))
+    # else: match-all (no constraints) — always a full-evaluation candidate
+    if constraints and rng.random() < 0.4:
+        constraints.append(Range("value", 0, rng.randint(5, 50)))
+    return subscription(Filter(constraints), subscriber=f"c{index}", sub_id=f"s{index}")
+
+
+def random_notification(rng: random.Random) -> Notification:
+    attrs = {
+        "service": rng.choice(SERVICES),
+        "location": rng.choice(LOCATIONS),
+        "value": rng.randint(0, 60),
+    }
+    if rng.random() < 0.15:
+        attrs["tags"] = ["unhashable"]
+    if rng.random() < 0.1:
+        del attrs["service"]
+    return Notification(attrs)
+
+
+class TestMatcherEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cross_check_randomized(self, seed):
+        rng = random.Random(seed)
+        brute = BruteForceMatcher()
+        indexed = AttributeIndexMatcher()
+        for i in range(rng.randint(20, 120)):
+            sub = random_subscription(rng, i)
+            brute.add(sub)
+            indexed.add(sub)
+        notifications = [random_notification(rng) for _ in range(150)]
+        assert cross_check([brute, indexed], notifications)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cross_check_with_removals(self, seed):
+        rng = random.Random(100 + seed)
+        brute = BruteForceMatcher()
+        indexed = AttributeIndexMatcher()
+        subs = [random_subscription(rng, i) for i in range(80)]
+        for sub in subs:
+            brute.add(sub)
+            indexed.add(sub)
+        for sub in rng.sample(subs, 40):
+            assert brute.remove(sub.sub_id) is not None
+            assert indexed.remove(sub.sub_id) is not None
+        assert len(brute) == len(indexed) == 40
+        notifications = [random_notification(rng) for _ in range(100)]
+        assert cross_check([brute, indexed], notifications)
+
+    def test_index_prunes_candidates(self):
+        """The fixed candidate lookup is O(notification attrs), and selective."""
+        indexed = AttributeIndexMatcher()
+        for i, service in enumerate(SERVICES * 10):
+            indexed.add(subscription(Filter([Equals("service", service)]), "c", sub_id=f"s{i}-{service}"))
+        indexed.full_evaluations = 0
+        matched = indexed.match(Notification({"service": "stock"}))
+        assert {s.sub_id.split("-")[1] for s in matched} == {"stock"}
+        # only the stock bucket was evaluated, not all 30 subscriptions
+        assert indexed.full_evaluations == 10
+
+    def test_unhashable_notification_value_skips_buckets(self):
+        indexed = AttributeIndexMatcher()
+        brute = BruteForceMatcher()
+        sub = subscription(Filter([Equals("tags", "x")]), "c", sub_id="s1")
+        indexed.add(sub)
+        brute.add(sub)
+        n = Notification({"tags": ["a", "b"]})  # unhashable value under an indexed attribute
+        assert cross_check([brute, indexed], [n])
+        assert indexed.matching_ids(n) == set()
+
+
+class TestPickIndexKey:
+    def test_equals_is_indexable(self):
+        assert pick_index_key(Filter([Equals("a", 1)])) == ("a", 1)
+
+    def test_single_value_inset_is_indexable(self):
+        assert pick_index_key(Filter([InSet("a", ["x"])])) == ("a", "x")
+
+    def test_multi_value_inset_is_not(self):
+        assert pick_index_key(Filter([InSet("a", ["x", "y"])])) is None
+
+    def test_unhashable_equals_falls_through(self):
+        assert pick_index_key(Filter([Equals("a", ["x"]), Equals("b", 2)])) == ("b", 2)
+
+    def test_match_all_unindexable(self):
+        assert pick_index_key(match_all()) is None

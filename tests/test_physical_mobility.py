@@ -9,7 +9,7 @@ from repro.core.virtual_client import VirtualClient
 from repro.pubsub.filters import Equals, Filter
 from repro.pubsub.notification import Notification
 
-from .test_virtual_client import FakeHost
+from helpers import FakeHost
 
 
 @pytest.fixture

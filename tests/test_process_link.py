@@ -182,3 +182,38 @@ class TestNetwork:
         assert network.total_messages() == 1
         assert network.total_messages("hello") == 1
         assert network.total_bytes() > 0
+
+
+class TestBatchedDelivery:
+    def test_send_many_is_one_event_per_link(self, pair):
+        sim, a, b, link = pair
+        messages = [Message("subscribe", payload=i) for i in range(5)]
+        scheduled_before = sim.events_scheduled
+        a.send_many("b", messages)
+        assert sim.events_scheduled == scheduled_before + 1
+        sim.run_until_idle()
+        assert [m.payload for (_, m) in b.received] == [0, 1, 2, 3, 4]
+        assert all(t == pytest.approx(0.5) for (t, _) in b.received)
+        assert a.messages_sent == 5
+        assert link.stats_a_to_b.messages == 5
+
+    def test_send_many_preserves_fifo_with_earlier_traffic(self, pair):
+        sim, a, b, link = pair
+        a.send("b", Message("x", payload="first"))
+        a.send_many("b", [Message("y", payload="second"), Message("y", payload="third")])
+        sim.run_until_idle()
+        assert [m.payload for (_, m) in b.received] == ["first", "second", "third"]
+
+    def test_send_many_on_down_link_drops_all(self, pair):
+        sim, a, b, link = pair
+        link.set_up(False)
+        a.send_many("b", [Message("x"), Message("x")])
+        sim.run_until_idle()
+        assert b.received == []
+        assert link.stats_a_to_b.dropped == 2
+
+    def test_send_many_empty_is_noop(self, pair):
+        sim, a, b, _ = pair
+        a.send_many("b", [])
+        assert sim.events_scheduled == 0
+        assert a.messages_sent == 0

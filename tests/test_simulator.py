@@ -182,3 +182,67 @@ class TestPeriodicTask:
         )
         sim.run_until_idle()
         assert times == pytest.approx([0.0, 2.5, 5.0, 7.5])
+
+
+class TestPendingAccounting:
+    """`pending` is maintained as an O(1) counter, not a queue rescan."""
+
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending == 6
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_clear_does_not_corrupt_counter(self):
+        sim = Simulator()
+        stale = sim.schedule(1.0, lambda: None)
+        sim.clear()
+        assert sim.pending == 0
+        stale.cancel()
+        assert sim.pending == 0
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending == 1
+
+    def test_counter_survives_run(self):
+        sim = Simulator()
+        keep = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        keep[2].cancel()
+        sim.run_until_idle()
+        assert sim.pending == 0
+        assert sim.events_processed == 4
+
+    def test_cancel_after_execution_is_noop(self):
+        """Cancelling a handle whose event already ran must not skew `pending`."""
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run_until_idle()
+        handle.cancel()
+        assert sim.pending == 0
+        sim.schedule(1.0, lambda: None)
+        assert sim.pending == 1
+
+    def test_periodic_task_stop_after_until_expiry(self):
+        """PeriodicTask.stop() after its `until` bound fired its last event."""
+        sim = Simulator()
+        task = PeriodicTask(sim, period=1.0, callback=lambda: None, until=2.5)
+        sim.run_until_idle()
+        task.stop()
+        assert sim.pending == 0
+
+    def test_callback_cancelling_own_handle(self):
+        sim = Simulator()
+        handles = []
+        sim.schedule(1.0, lambda: handles[0].cancel())
+        handles.append(sim._queue[0][2])
+        sim.run_until_idle()
+        assert sim.pending == 0

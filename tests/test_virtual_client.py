@@ -9,29 +9,7 @@ from repro.core.virtual_client import VirtualClient, VirtualClientMode
 from repro.pubsub.filters import Equals, Filter
 from repro.pubsub.notification import Notification
 
-
-class FakeHost:
-    """Records what the virtual client asks the replicator to do."""
-
-    def __init__(self):
-        self.time = 0.0
-        self.subscribed = {}
-        self.unsubscribed = []
-        self.delivered = []
-
-    @property
-    def now(self):
-        return self.time
-
-    def issue_subscribe(self, subscription):
-        self.subscribed[subscription.sub_id] = subscription
-
-    def issue_unsubscribe(self, subscription):
-        self.unsubscribed.append(subscription.sub_id)
-        self.subscribed.pop(subscription.sub_id, None)
-
-    def deliver_to_device(self, client_id, notification, replayed):
-        self.delivered.append((client_id, notification, replayed))
+from helpers import FakeHost
 
 
 @pytest.fixture
