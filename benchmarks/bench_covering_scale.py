@@ -1,0 +1,262 @@
+"""Covering/merging subscription-control scaling benchmark.
+
+Two sweeps:
+
+* **churn** — subscribe/unsubscribe churn driven straight through a routing
+  strategy (identity / covering / merging) against a fake broker, comparing
+  the ``advertising="scan"`` baseline (rebuild the forwarded-filter list and
+  re-run ``covers`` per query) with the ``"incremental"`` forwarded-filter
+  index.  Both runs see the same operation sequence and their control-message
+  logs are asserted identical (up to generated merged-subscription ids).
+* **range-table** — ``RoutingTable.destinations`` on a Range-dominated
+  workload (the paper's location/zone band filters), brute vs indexed, which
+  exercises the per-attribute Range segment buckets.
+
+Emits ``BENCH_covering.json`` (see ``--output``), consumable by
+``benchmarks/compare.py``.  Absolute wall times are recorded under
+``*_sec``/``*_ops_per_sec`` keys, which ``compare.py`` deliberately ignores:
+they are machine-dependent, so the CI regression gate runs on the
+machine-portable ``speedup`` ratios only.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_covering_scale.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_covering_scale.py --fast   # CI smoke
+    python benchmarks/compare.py BENCH_covering.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.pubsub.filters import Equals, Filter, Range  # noqa: E402
+from repro.pubsub.notification import Notification  # noqa: E402
+from repro.pubsub.routing import make_strategy  # noqa: E402
+from repro.pubsub.routing_table import RoutingTable  # noqa: E402
+from repro.pubsub.subscription import Subscription  # noqa: E402
+from repro.pubsub.testing import RecordingBroker as FakeBroker  # noqa: E402
+from repro.pubsub.testing import normalize_merged_ids as normalized  # noqa: E402
+
+N_SERVICES = 40
+N_LOCATIONS = 12
+BAND = 10  # value bands are quantized so filters repeat and cover each other
+
+
+def make_covering_filter(rng: random.Random) -> Filter:
+    """Overlap-heavy filters in the shape of the paper's workloads: a few
+    broad service subscriptions cover many narrower band/location ones."""
+    roll = rng.random()
+    service = Equals("service", f"svc-{rng.randrange(N_SERVICES)}")
+    if roll < 0.10:
+        return Filter([service])
+    if roll < 0.50:
+        low = BAND * rng.randrange(0, 10)
+        return Filter([service, Range("value", low, low + BAND * rng.randint(1, 3))])
+    if roll < 0.80:
+        return Filter([service, Equals("location", f"r{rng.randrange(N_LOCATIONS)}")])
+    low = BAND * rng.randrange(0, 10)
+    return Filter([Range("value", low, low + BAND * rng.randint(1, 2))])
+
+
+def make_ops(subscriptions: int, seed: int):
+    """A churn schedule: ~subscriptions subscribes interleaved with ~25% unsubscribes."""
+    rng = random.Random(seed)
+    ops = []
+    live = []
+    for step in range(subscriptions):
+        filter = make_covering_filter(rng)
+        sub_id = f"s{step}"
+        from_link = rng.choice(["c1", "c2"])
+        ops.append(("sub", sub_id, filter, from_link))
+        live.append((sub_id, filter, from_link))
+        if live and rng.random() < 0.25:
+            ops.append(("unsub", *live.pop(rng.randrange(len(live)))))
+    return ops
+
+
+def run_churn(strategy_name: str, advertising: str, ops, links: int):
+    broker = FakeBroker([f"N{i}" for i in range(links)])
+    strategy = make_strategy(strategy_name, broker, advertising=advertising)
+    start = time.perf_counter()
+    for op, sub_id, filter, from_link in ops:
+        if op == "sub":
+            strategy.handle_subscribe(
+                Subscription(sub_id=sub_id, filter=filter, subscriber=from_link), from_link
+            )
+        else:
+            strategy.handle_unsubscribe(sub_id, filter, from_link)
+    elapsed = time.perf_counter() - start
+    return elapsed, broker.log
+
+
+def bench_churn(strategy_name: str, subscriptions: int, links: int, seed: int = 0,
+                compare_scan: bool = True):
+    ops = make_ops(subscriptions, seed)
+    metrics = {}
+    incremental_s, incremental_log = run_churn(strategy_name, "incremental", ops, links)
+    metrics["incremental_sec"] = incremental_s
+    metrics["incremental_ops_per_sec"] = len(ops) / incremental_s
+    if compare_scan:
+        scan_s, scan_log = run_churn(strategy_name, "scan", ops, links)
+        if normalized(scan_log) != normalized(incremental_log):
+            raise AssertionError(
+                f"forwarding divergence: strategy={strategy_name} subs={subscriptions}"
+            )
+        metrics["scan_sec"] = scan_s
+        metrics["speedup"] = scan_s / incremental_s
+        metrics["decisions_identical"] = True
+    return {
+        "sweep": "churn",
+        "config": {"strategy": strategy_name, "subscriptions": subscriptions, "links": links},
+        "metrics": metrics,
+    }
+
+
+# --------------------------------------------------------------- range sweep
+
+
+def make_range_filter(rng: random.Random) -> Filter:
+    """Range-dominated subscriptions: narrow numeric bands, no equality key."""
+    attribute = rng.choice(["value", "zone"])
+    low = rng.uniform(0, 900)
+    return Filter([Range(attribute, low, low + rng.uniform(5, 40))])
+
+
+def bench_range_table(links: int, subscriptions: int, notifications: int, seed: int = 0):
+    rng = random.Random(seed)
+    filters = [(make_range_filter(rng), f"L{i % links}", f"s{i}") for i in range(subscriptions)]
+    payloads = [
+        Notification({"value": rng.uniform(0, 1000), "zone": rng.uniform(0, 1000)})
+        for _ in range(notifications)
+    ]
+    metrics = {}
+    reference = None
+    for matcher in ("brute", "indexed"):
+        table = RoutingTable(matcher=matcher)
+        for filter, link, sub_id in filters:
+            table.add(filter, link, sub_id)
+        # warm both matchers once so the lazy segment rebuild (a one-off
+        # cost after a churn batch, reported separately) is excluded from
+        # the steady-state per-notification measurement
+        start = time.perf_counter()
+        table.destinations(payloads[0])
+        metrics[f"{matcher}_first_query_sec"] = time.perf_counter() - start
+        results = []
+        start = time.perf_counter()
+        for payload in payloads:
+            results.append(table.destinations(payload))
+        elapsed = time.perf_counter() - start
+        metrics[f"{matcher}_sec"] = elapsed
+        if reference is None:
+            reference = results
+        elif results != reference:
+            raise AssertionError(
+                f"matcher divergence on range workload: subs={subscriptions}"
+            )
+    metrics["speedup"] = metrics["brute_sec"] / metrics["indexed_sec"]
+    metrics["destinations_identical"] = True
+    return {
+        "sweep": "range-table",
+        "config": {"links": links, "subscriptions": subscriptions},
+        "metrics": metrics,
+    }
+
+
+# -------------------------------------------------------------------- driver
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true", help="small sweep for CI smoke runs")
+    parser.add_argument(
+        "--output", "-o",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_covering.json"),
+    )
+    args = parser.parse_args(argv)
+
+    strategies = ("identity", "covering", "merging")
+    if args.fast:
+        churn_configs = [(s, 1000, 4, True) for s in strategies]
+        range_configs = [(4, 1000)]
+        # same notification count as the full sweep: the record shares its
+        # config key with the committed baseline, so the measured ratio must
+        # come from the same sample
+        range_notifications = 300
+    else:
+        churn_configs = [
+            (s, subs, 4, True) for s in strategies for subs in (1000, 3000)
+        ] + [
+            # scan is O(subscriptions) per decision: at 10k it would dominate
+            # the run, so the largest size records incremental throughput only
+            (s, 10000, 4, False) for s in strategies
+        ]
+        range_configs = [(4, 1000), (4, 5000)]
+        range_notifications = 300
+
+    results = []
+    for strategy, subs, links, compare_scan in churn_configs:
+        record = bench_churn(strategy, subs, links, compare_scan=compare_scan)
+        results.append(record)
+        m = record["metrics"]
+        line = (
+            f"churn   {strategy:<9} subs={subs:<6} "
+            f"incremental={m['incremental_sec']:7.3f}s "
+            f"({m['incremental_ops_per_sec']:9.0f} ops/s)"
+        )
+        if "speedup" in m:
+            line += f" scan={m['scan_sec']:8.3f}s speedup={m['speedup']:6.1f}x"
+        print(line)
+    for links, subs in range_configs:
+        record = bench_range_table(links, subs, range_notifications)
+        results.append(record)
+        m = record["metrics"]
+        print(
+            f"range   links={links:<2} subs={subs:<6} "
+            f"brute={m['brute_sec']:7.3f}s indexed={m['indexed_sec']:7.3f}s "
+            f"speedup={m['speedup']:6.1f}x"
+        )
+
+    # headline: the worst covering/merging churn speedup at >= 1000 subscriptions
+    headline_pool = [
+        r for r in results
+        if r["sweep"] == "churn"
+        and r["config"]["strategy"] in ("covering", "merging")
+        and r["config"]["subscriptions"] >= 1000
+        and "speedup" in r["metrics"]
+    ]
+    headline = min(headline_pool, key=lambda r: r["metrics"]["speedup"]) if headline_pool else None
+    range_pool = [r for r in results if r["sweep"] == "range-table"]
+    range_headline = max(range_pool, key=lambda r: r["metrics"]["speedup"]) if range_pool else None
+
+    payload = {
+        "benchmark": "covering_scale",
+        "mode": "fast" if args.fast else "full",
+        "results": results,
+        "headline": headline,
+        "range_headline": range_headline,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    status = 0
+    if headline is not None:
+        speedup = headline["metrics"]["speedup"]
+        print(f"headline (worst covering/merging churn): {headline['config']} -> {speedup:.1f}x")
+        if speedup < 5.0:
+            print("WARNING: churn speedup below the 5x acceptance bar", file=sys.stderr)
+            status = 1
+    if range_headline is not None:
+        speedup = range_headline["metrics"]["speedup"]
+        print(f"range-table headline: {range_headline['config']} -> {speedup:.1f}x")
+        if speedup < 1.5:
+            print("WARNING: range-indexed destinations() shows no measurable win", file=sys.stderr)
+            status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

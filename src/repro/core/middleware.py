@@ -44,6 +44,11 @@ class MobilitySystemConfig:
     #: ``None`` (default) keeps whatever the brokers were built with, so an
     #: explicitly chosen matcher on the network is never silently overridden.
     matcher: Optional[str] = None
+    #: subscription-control implementation: "incremental" (maintained
+    #: forwarded-filter index, the fast path) or "scan" (rebuild per query);
+    #: forwarding decisions are identical.  ``None`` (default) keeps whatever
+    #: the brokers were built with.
+    advertising: Optional[str] = None
     #: feature switches of the replicator layer
     replicator: ReplicatorConfig = field(default_factory=ReplicatorConfig)
     #: shadow-placement policy: "nlb", "nlb-<k>", "flooding", "none", "markov", or a predictor object
@@ -98,6 +103,9 @@ class MobilePubSub:
         if self.config.matcher is not None:
             for broker in self.network.brokers.values():
                 broker.set_matcher(self.config.matcher)
+        if self.config.advertising is not None:
+            for broker in self.network.brokers.values():
+                broker.set_advertising(self.config.advertising)
         self._build_replicators()
 
     # ------------------------------------------------------------------ build

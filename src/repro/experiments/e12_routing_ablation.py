@@ -31,8 +31,14 @@ def run(
     subscriber_counts: Sequence[int] = (8, 24),
     publications: int = 40,
     seed: int = 12,
+    advertising: str = "incremental",
 ) -> Table:
-    """Run the routing ablation and return the result table."""
+    """Run the routing ablation and return the result table.
+
+    ``advertising`` selects the subscription-control implementation
+    (``"incremental"`` index vs ``"scan"`` baseline); the ablation numbers
+    are identical under both, which this experiment relies on.
+    """
     table = Table(
         "E12: routing strategies under overlapping subscriptions",
         columns=[
@@ -47,7 +53,7 @@ def run(
     )
     for n_subscribers in subscriber_counts:
         for strategy in strategies:
-            row = _run_once(strategy, n_brokers, n_subscribers, publications, seed)
+            row = _run_once(strategy, n_brokers, n_subscribers, publications, seed, advertising)
             table.add_row(subscribers=n_subscribers, strategy=strategy, **row)
     return table
 
@@ -62,11 +68,16 @@ def _subscription_filter(index: int, rng: random.Random) -> Filter:
 
 
 def _run_once(
-    strategy: str, n_brokers: int, n_subscribers: int, publications: int, seed: int
+    strategy: str,
+    n_brokers: int,
+    n_subscribers: int,
+    publications: int,
+    seed: int,
+    advertising: str = "incremental",
 ) -> Dict[str, object]:
     rng = random.Random(seed)
     sim = Simulator()
-    network = line_topology(sim, n_brokers, routing=strategy)
+    network = line_topology(sim, n_brokers, routing=strategy, advertising=advertising)
     brokers = network.broker_names()
 
     subscribers = []

@@ -35,9 +35,17 @@ from .filters import (
     filter_from_dict,
     match_all,
 )
-from .matching import AttributeIndexMatcher, BruteForceMatcher, cross_check
+from .matching import (
+    AttributeIndexMatcher,
+    BruteForceMatcher,
+    RangeSegmentIndex,
+    cross_check,
+    pick_index_key,
+    pick_range_constraint,
+)
 from .notification import Notification, notification
 from .routing import (
+    ADVERTISING_NAMES,
     STRATEGIES,
     CoveringRouting,
     FloodingRouting,
@@ -51,6 +59,7 @@ from .routing_table import RouteEntry, RoutingTable
 from .subscription import Subscription, next_subscription_id, subscription
 
 __all__ = [
+    "ADVERTISING_NAMES",
     "AtLeast",
     "AtMost",
     "AttributeIndexMatcher",
@@ -77,6 +86,7 @@ __all__ = [
     "Notification",
     "Prefix",
     "Range",
+    "RangeSegmentIndex",
     "RouteEntry",
     "RoutingStrategy",
     "RoutingTable",
@@ -94,6 +104,8 @@ __all__ = [
     "match_all",
     "next_subscription_id",
     "notification",
+    "pick_index_key",
+    "pick_range_constraint",
     "random_tree_topology",
     "star_topology",
     "subscription",

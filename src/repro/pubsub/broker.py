@@ -47,6 +47,12 @@ class Broker(Process):
         Routing-table matching strategy: ``"indexed"`` (default; per-link
         attribute index, pre-selects candidate entries) or ``"brute"``
         (evaluate every entry).  Both produce identical forwarding decisions.
+    advertising:
+        Subscription-control implementation of the routing strategy:
+        ``"incremental"`` (default; maintained forwarded-filter index) or
+        ``"scan"`` (rebuild the forwarded-filter list per query).  Both
+        produce identical forwarding decisions; the knob only matters for
+        the identity/covering/merging strategies.
     duplicates_capacity:
         Maximum number of notification ids remembered for duplicate
         suppression when :attr:`deduplicate` is on; oldest ids are evicted
@@ -62,12 +68,13 @@ class Broker(Process):
         name: str,
         routing: str = "simple",
         matcher: str = "indexed",
+        advertising: str = "incremental",
         duplicates_capacity: Optional[int] = None,
     ):
         super().__init__(sim, name)
         self.routing_table = RoutingTable(matcher=matcher)
         self.routing_strategy_name = routing
-        self.strategy: RoutingStrategy = make_strategy(routing, self)
+        self.strategy: RoutingStrategy = make_strategy(routing, self, advertising=advertising)
         self._broker_peers: Set[str] = set()
         # metrics
         self.notifications_routed = 0
@@ -92,6 +99,15 @@ class Broker(Process):
     def set_matcher(self, matcher: str) -> None:
         """Switch the routing-table matching strategy (rebuilds the index)."""
         self.routing_table.set_matcher(matcher)
+
+    @property
+    def advertising(self) -> str:
+        """The subscription-control implementation ("scan" or "incremental")."""
+        return self.strategy.advertising
+
+    def set_advertising(self, advertising: str) -> None:
+        """Switch the subscription-control implementation (rebuilds the index)."""
+        self.strategy.set_advertising(advertising)
 
     # ------------------------------------------------------------------ wiring
     def register_broker_peer(self, peer_name: str) -> None:
@@ -149,6 +165,9 @@ class Broker(Process):
         """A client link announces it is going away: drop all its routing entries."""
         link = message.sender or ""
         removed = self.routing_table.remove_link(link)
+        # the bulk removal bypassed the strategy; let its incremental
+        # forwarded-filter index re-derive contributions from the live table
+        self.strategy.on_entries_removed(removed)
         for entry in removed:
             self.strategy.handle_unsubscribe(entry.sub_id, entry.filter, link)
 

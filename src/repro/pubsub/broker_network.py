@@ -34,20 +34,34 @@ class BrokerNetwork:
         routing: str = "simple",
         link_latency: float = 0.001,
         matcher: str = "indexed",
+        advertising: str = "incremental",
     ):
         self.sim = sim
         self.routing = routing
         self.link_latency = link_latency
         self.matcher = matcher
+        self.advertising = advertising
         self.network = Network(sim)
         self.brokers: Dict[str, Broker] = {}
         self.clients: Dict[str, Client] = {}
         self._broker_edges: List[Tuple[str, str]] = []
 
     # ------------------------------------------------------------------ build
-    def add_broker(self, name: str, routing: Optional[str] = None, matcher: Optional[str] = None) -> Broker:
+    def add_broker(
+        self,
+        name: str,
+        routing: Optional[str] = None,
+        matcher: Optional[str] = None,
+        advertising: Optional[str] = None,
+    ) -> Broker:
         """Create and register a broker process."""
-        broker = Broker(self.sim, name, routing=routing or self.routing, matcher=matcher or self.matcher)
+        broker = Broker(
+            self.sim,
+            name,
+            routing=routing or self.routing,
+            matcher=matcher or self.matcher,
+            advertising=advertising or self.advertising,
+        )
         self.brokers[name] = broker
         self.network.add_process(broker)
         return broker
@@ -167,9 +181,10 @@ class BrokerNetwork:
 
 def line_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
                   link_latency: float = 0.001, prefix: str = "B",
-                  matcher: str = "indexed") -> BrokerNetwork:
+                  matcher: str = "indexed", advertising: str = "incremental") -> BrokerNetwork:
     """Brokers connected in a chain: B1 - B2 - ... - Bn."""
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
+                        advertising=advertising)
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
         net.add_broker(name)
@@ -181,9 +196,10 @@ def line_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
 
 def star_topology(sim: Simulator, n_leaves: int, routing: str = "simple",
                   link_latency: float = 0.001, prefix: str = "B",
-                  matcher: str = "indexed") -> BrokerNetwork:
+                  matcher: str = "indexed", advertising: str = "incremental") -> BrokerNetwork:
     """One hub broker connected to ``n_leaves`` border brokers."""
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
+                        advertising=advertising)
     hub = net.add_broker(f"{prefix}0")
     for i in range(n_leaves):
         leaf = net.add_broker(f"{prefix}{i + 1}")
@@ -194,11 +210,12 @@ def star_topology(sim: Simulator, n_leaves: int, routing: str = "simple",
 
 def balanced_tree_topology(sim: Simulator, branching: int, depth: int, routing: str = "simple",
                            link_latency: float = 0.001, prefix: str = "B",
-                           matcher: str = "indexed") -> BrokerNetwork:
+                           matcher: str = "indexed", advertising: str = "incremental") -> BrokerNetwork:
     """A balanced tree of brokers with the given branching factor and depth."""
     if branching < 1 or depth < 0:
         raise ValueError("branching must be >= 1 and depth >= 0")
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
+                        advertising=advertising)
     counter = 0
 
     def make(depth_left: int, parent: Optional[str]) -> None:
@@ -219,10 +236,11 @@ def balanced_tree_topology(sim: Simulator, branching: int, depth: int, routing: 
 
 def random_tree_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
                          link_latency: float = 0.001, seed: int = 0, prefix: str = "B",
-                         matcher: str = "indexed") -> BrokerNetwork:
+                         matcher: str = "indexed", advertising: str = "incremental") -> BrokerNetwork:
     """A uniformly random tree over ``n_brokers`` brokers (random attachment)."""
     rng = random.Random(seed)
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
+                        advertising=advertising)
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
         net.add_broker(name)
@@ -235,7 +253,8 @@ def random_tree_topology(sim: Simulator, n_brokers: int, routing: str = "simple"
 
 def grid_border_topology(sim: Simulator, rows: int, cols: int, routing: str = "simple",
                          link_latency: float = 0.001, prefix: str = "B",
-                         matcher: str = "indexed") -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
+                         matcher: str = "indexed",
+                         advertising: str = "incremental") -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
     """A broker per grid cell, connected as a spanning tree (row backbones joined by the first column).
 
     Returns the network and a mapping from ``(row, col)`` cells to broker
@@ -243,7 +262,8 @@ def grid_border_topology(sim: Simulator, rows: int, cols: int, routing: str = "s
     movement graphs are typically built from, while the broker *network*
     stays an acyclic tree as the paper requires.
     """
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher)
+    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
+                        advertising=advertising)
     cells: Dict[Tuple[int, int], str] = {}
     for r in range(rows):
         for c in range(cols):

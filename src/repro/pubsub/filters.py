@@ -318,6 +318,15 @@ class Range(Constraint):
     def _make_key(self) -> Tuple:
         return ("range", self.attribute, self.low, self.high, self.include_low, self.include_high)
 
+    def bounds(self) -> Tuple[float, float]:
+        """The (low, high) boundary pair, for segment-bucket index construction.
+
+        Inclusivity is intentionally dropped: an index built from these
+        bounds yields a superset of the matching candidates, and the full
+        constraint evaluation that follows restores exactness.
+        """
+        return (self.low, self.high)
+
     def describe(self) -> str:
         left = "[" if self.include_low else "("
         right = "]" if self.include_high else ")"
@@ -447,13 +456,14 @@ class Filter:
     evaluation, so this is one of the hottest code paths in the system.
     """
 
-    __slots__ = ("_constraints", "_matches", "_key", "_hash")
+    __slots__ = ("_constraints", "_matches", "_key", "_hash", "_attrs")
 
     def __init__(self, constraints: Iterable[Constraint] = ()):
         self._constraints: Tuple[Constraint, ...] = tuple(constraints)
         self._matches = _compile_matches(self._constraints)
         self._key: Optional[Tuple] = None
         self._hash: Optional[int] = None
+        self._attrs: Optional[frozenset] = None
 
     # ------------------------------------------------------------- evaluation
     def matches(self, notification: Mapping[str, Any]) -> bool:
@@ -480,6 +490,19 @@ class Filter:
     def constraints_on(self, attribute: str) -> List[Constraint]:
         return [c for c in self._constraints if c.attribute == attribute]
 
+    @property
+    def attribute_set(self) -> frozenset:
+        """Cached frozenset of constrained attribute names.
+
+        ``G.covers(F)`` requires every attribute constrained by ``G`` to also
+        be constrained by ``F``, so this set doubles as the covering
+        candidate-pruning signature used by the incremental routing index.
+        """
+        attrs = self._attrs
+        if attrs is None:
+            attrs = self._attrs = frozenset(c.attribute for c in self._constraints)
+        return attrs
+
     def is_empty(self) -> bool:
         """True for the match-everything filter."""
         return not self._constraints
@@ -493,6 +516,8 @@ class Filter:
         constraint of ``other`` on the same attribute that is covered by
         ``c``.  The empty filter covers everything.
         """
+        if not self.attribute_set <= other.attribute_set:
+            return False
         for mine in self._constraints:
             others = other.constraints_on(mine.attribute)
             if not others:

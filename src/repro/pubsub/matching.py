@@ -13,15 +13,24 @@ Two strategies are provided:
   constraints (the "counting / pre-filtering" family of algorithms referenced
   by the paper via [16]).  Candidates are pre-selected by the value of one
   indexed equality attribute per filter and only those candidates are fully
-  evaluated, so results are identical to brute force.
+  evaluated, so results are identical to brute force.  Filters without an
+  equality constraint but with a :class:`~repro.pubsub.filters.Range`
+  constraint are candidate-pruned through :class:`RangeSegmentIndex`
+  (sorted boundaries + bisect) instead of landing in the always-evaluated
+  fallback set.
+
+:class:`RangeSegmentIndex` is shared with the routing table's per-link index
+(:mod:`repro.pubsub.routing_table`), exactly like :func:`pick_index_key`.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
-from .filters import Equals, Filter, InSet
+from .filters import Equals, Filter, InSet, Range
 from .notification import Notification
 from .subscription import Subscription
 
@@ -52,6 +61,129 @@ def pick_index_key(filter: Filter) -> Optional[Tuple[str, object]]:
                 continue
             return (constraint.attribute, value)
     return None
+
+
+def pick_range_constraint(filter: Filter) -> Optional[Range]:
+    """Choose the best ``Range`` constraint for segment-bucket pre-selection.
+
+    Used for filters :func:`pick_index_key` rejects (no usable equality
+    constraint): such a filter can still be candidate-pruned by one of its
+    range constraints, because it only matches notifications whose value for
+    that attribute lies inside the range.  Prefers the most selective range
+    (two finite bounds beat one, one beats none); returns ``None`` when the
+    filter has no range constraint at all.
+    """
+    best: Optional[Range] = None
+    best_score = -1
+    for constraint in filter.constraints:
+        if isinstance(constraint, Range):
+            score = (constraint.low != -math.inf) + (constraint.high != math.inf)
+            if score == 2:
+                return constraint
+            if score > best_score:
+                best, best_score = constraint, score
+    return best
+
+
+class RangeSegmentIndex:
+    """Interval-stabbing index over the ``Range`` constraints of one attribute.
+
+    The classic segment-bucket scheme: the sorted list of distinct finite
+    range boundaries partitions the number line into elementary segments
+    (alternating open gaps and boundary points); within one segment the set
+    of ranges containing a value is constant.  A query is one ``bisect`` into
+    the boundary list plus a walk over the precomputed member list of the
+    selected segment — a superset of the true matches (endpoint inclusivity
+    is ignored here), made exact by the full filter evaluation that follows.
+
+    Mutations mark the index dirty; the segment lists are rebuilt lazily on
+    the next query, so bulk churn never pays per-operation rebuild costs.
+    Heavily overlapping ranges would make the per-segment member lists
+    quadratic, so the rebuild *coarsens* the boundary list (halving its
+    resolution) until the total membership fits ``MAX_SLOTS_PER_ENTRY``
+    slots per entry — candidate sets get less selective but stay supersets,
+    and memory stays linear in the entry count.
+    """
+
+    __slots__ = ("_entries", "_dirty", "_bounds", "_segments")
+
+    MAX_SLOTS_PER_ENTRY = 32
+
+    def __init__(self) -> None:
+        # id -> (low, high, payload)
+        self._entries: Dict[str, Tuple[float, float, object]] = {}
+        self._dirty = False
+        self._bounds: List[float] = []
+        self._segments: List[List[object]] = []
+
+    def add(self, entry_id: str, constraint: Range, payload: object) -> None:
+        low, high = constraint.bounds()
+        self._entries[entry_id] = (low, high, payload)
+        self._dirty = True
+
+    def discard(self, entry_id: str) -> None:
+        if self._entries.pop(entry_id, None) is not None:
+            self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, entry_id: str) -> Optional[object]:
+        entry = self._entries.get(entry_id)
+        return entry[2] if entry is not None else None
+
+    def payloads(self) -> List[object]:
+        return [payload for (_low, _high, payload) in self._entries.values()]
+
+    @staticmethod
+    def _segment_of(bounds: List[float], value: float) -> int:
+        """Elementary-segment index of ``value``: even indices are the open
+        gaps between boundaries, odd indices the boundary points themselves."""
+        i = bisect_left(bounds, value)
+        if i < len(bounds) and bounds[i] == value:
+            return 2 * i + 1
+        return 2 * i
+
+    def _rebuild(self) -> None:
+        self._dirty = False
+        entries = self._entries
+        bounds = sorted(
+            {
+                bound
+                for (low, high, _payload) in entries.values()
+                for bound in (low, high)
+                if -math.inf < bound < math.inf
+            }
+        )
+        budget = self.MAX_SLOTS_PER_ENTRY * len(entries) + 64
+        while True:
+            n_segments = 2 * len(bounds) + 1
+            spans = []
+            total = 0
+            for low, high, payload in entries.values():
+                start = 0 if low == -math.inf else self._segment_of(bounds, low)
+                end = n_segments - 1 if high == math.inf else self._segment_of(bounds, high)
+                spans.append((start, end, payload))
+                total += end - start + 1
+            if total <= budget or len(bounds) <= 8:
+                break
+            bounds = bounds[::2]  # coarsen: halve the boundary resolution
+        self._bounds = bounds
+        segments: List[List[object]] = [[] for _ in range(2 * len(bounds) + 1)]
+        for start, end, payload in spans:
+            for segment in range(start, end + 1):
+                segments[segment].append(payload)
+        self._segments = segments
+
+    def candidates(self, value: object) -> List[object]:
+        """Payloads of the ranges that may contain ``value`` (a superset)."""
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return []  # a Range constraint never matches a non-numeric value
+        if self._dirty:
+            self._rebuild()
+        if not self._segments:
+            return []
+        return self._segments[self._segment_of(self._bounds, value)]
 
 
 class BruteForceMatcher:
@@ -94,36 +226,65 @@ class AttributeIndexMatcher:
     chosen as the index key.  At match time only subscriptions whose index key
     agrees with the notification (plus all unindexable subscriptions) are
     evaluated in full, which keeps the result identical to brute force while
-    skipping most non-matching filters on selective workloads.
+    skipping most non-matching filters on selective workloads.  Filters with
+    no equality constraint but at least one ``Range`` constraint are bucketed
+    in a per-attribute :class:`RangeSegmentIndex` and pre-selected by the
+    notification's value for that attribute.
     """
 
     def __init__(self) -> None:
         self._by_key: Dict[Tuple[str, object], Dict[str, Subscription]] = defaultdict(dict)
+        self._by_range: Dict[str, RangeSegmentIndex] = {}
         self._unindexed: Dict[str, Subscription] = {}
+        # sub_id -> ("eq", key) | ("range", attribute) | None (unindexed)
         self._index_of: Dict[str, Optional[Tuple[str, object]]] = {}
         self.full_evaluations = 0
 
     # ------------------------------------------------------------------ admin
     def add(self, subscription: Subscription) -> None:
+        sub_id = subscription.sub_id
         key = self._pick_index_key(subscription.filter)
-        self._index_of[subscription.sub_id] = key
-        if key is None:
-            self._unindexed[subscription.sub_id] = subscription
-        else:
-            self._by_key[key][subscription.sub_id] = subscription
+        if key is not None:
+            self._index_of[sub_id] = ("eq", key)
+            self._by_key[key][sub_id] = subscription
+            return
+        range_constraint = pick_range_constraint(subscription.filter)
+        if range_constraint is not None:
+            attribute = range_constraint.attribute
+            self._index_of[sub_id] = ("range", attribute)
+            index = self._by_range.get(attribute)
+            if index is None:
+                index = self._by_range[attribute] = RangeSegmentIndex()
+            index.add(sub_id, range_constraint, subscription)
+            return
+        self._index_of[sub_id] = None
+        self._unindexed[sub_id] = subscription
 
     def remove(self, sub_id: str) -> Optional[Subscription]:
-        key = self._index_of.pop(sub_id, None)
-        if key is None:
+        if sub_id not in self._index_of:
+            return None
+        tag = self._index_of.pop(sub_id)
+        if tag is None:
             return self._unindexed.pop(sub_id, None)
-        bucket = self._by_key.get(key, {})
+        kind, detail = tag
+        if kind == "range":
+            index = self._by_range.get(detail)
+            if index is None:
+                return None
+            removed = index.get(sub_id)
+            index.discard(sub_id)
+            if not len(index):
+                del self._by_range[detail]
+            return removed
+        bucket = self._by_key.get(detail, {})
         removed = bucket.pop(sub_id, None)
-        if not bucket and key in self._by_key:
-            del self._by_key[key]
+        if not bucket and detail in self._by_key:
+            del self._by_key[detail]
         return removed
 
     def clear(self) -> None:
         self._by_key.clear()
+        self._by_range.clear()
         self._unindexed.clear()
         self._index_of.clear()
 
@@ -138,6 +299,8 @@ class AttributeIndexMatcher:
         subs = list(self._unindexed.values())
         for bucket in self._by_key.values():
             subs.extend(bucket.values())
+        for index in self._by_range.values():
+            subs.extend(index.payloads())
         return subs
 
     # --------------------------------------------------------------- matching
@@ -145,6 +308,12 @@ class AttributeIndexMatcher:
         candidates: List[Subscription] = list(self._unindexed.values())
         for (attribute, value), bucket in self._candidate_buckets(notification):
             candidates.extend(bucket.values())
+        by_range = self._by_range
+        if by_range:
+            for attribute, value in notification.items():
+                index = by_range.get(attribute)
+                if index is not None:
+                    candidates.extend(index.candidates(value))
         matched = []
         for sub in candidates:
             self.full_evaluations += 1

@@ -19,6 +19,21 @@ substrate comparison, so this module implements the whole family:
   may accept more notifications, which costs traffic but never correctness
   because border brokers still match against the clients' exact filters).
 
+Two implementations of the subscription-control path are available (the
+``advertising`` knob):
+
+* ``"scan"`` — the baseline: every ``needs_forwarding`` query rebuilds the
+  list of filters forwarded on the link and re-evaluates equality/``covers``
+  against each of them, O(forwarded subscriptions) per query with full
+  ``covers`` evaluations.
+* ``"incremental"`` (default) — a maintained per-link
+  :class:`_ForwardedFilterIndex`: a refcounted multiset of forwarded filter
+  keys, distinct filters grouped by constrained attribute set (the covering
+  candidate bound), a memoised ``covers`` relation, and refcounted
+  constraint counts from which merging reads its merged filter without
+  re-folding the merge chain.  Forwarding decisions are identical to
+  ``"scan"`` — the index is a maintained view of the same state.
+
 All strategies are stateful per broker and interact with their broker through
 a narrow interface (`routing_table`, `broker_neighbors`, `forward_subscribe`,
 `forward_unsubscribe`), which keeps them unit-testable with a fake broker.
@@ -27,11 +42,13 @@ a narrow interface (`routing_table`, `broker_neighbors`, `forward_subscribe`,
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Set
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Set, Tuple
 
-from .filters import Filter
+from .filters import Constraint, Filter
 from .notification import Notification
 from .subscription import Subscription, next_subscription_id
+
+ADVERTISING_NAMES = ("scan", "incremental")
 
 
 class RoutingBroker(Protocol):
@@ -51,20 +68,227 @@ class RoutingBroker(Protocol):
 from .routing_table import RoutingTable  # noqa: E402  (after Protocol to avoid confusion)
 
 
+class _LinkAdverts:
+    """The forwarded-filter state of one link, maintained incrementally.
+
+    Tracks the multiset of filters currently advertised over the link as a
+    per-(subscription, link) contribution list, aggregated three ways:
+
+    * ``key_count``/``rep`` — refcount and one representative filter per
+      distinct ``Filter.key()``; identity queries are one dict probe.
+    * ``by_attrs`` — distinct filters grouped by constrained attribute set.
+      ``G.covers(F)`` implies ``attrs(G) ⊆ attrs(F)``, so only buckets whose
+      attribute set is a subset of the queried filter's can hold a coverer.
+    * ``constraint_count``/``constraint_rep``/``total`` — per-constraint
+      refcounts over the multiset; a constraint present in every advertised
+      filter (count == total) is part of the merged filter, which makes the
+      merge fold an O(distinct constraints) read.
+    """
+
+    __slots__ = (
+        "subs",
+        "key_count",
+        "rep",
+        "by_attrs",
+        "constraint_count",
+        "constraint_rep",
+        "total",
+    )
+
+    def __init__(self) -> None:
+        self.subs: Dict[str, List[Filter]] = {}
+        self.key_count: Dict[Tuple, int] = {}
+        self.rep: Dict[Tuple, Filter] = {}
+        self.by_attrs: Dict[frozenset, Dict[Tuple, Filter]] = {}
+        self.constraint_count: Dict[Tuple, int] = {}
+        self.constraint_rep: Dict[Tuple, Constraint] = {}
+        self.total = 0
+
+    def set_contribution(self, sub_id: str, filters: List[Filter]) -> None:
+        if sub_id in self.subs:
+            self.remove_contribution(sub_id)
+        self.subs[sub_id] = list(filters)
+        for filter in filters:
+            self.total += 1
+            key = filter.key()
+            count = self.key_count.get(key, 0)
+            self.key_count[key] = count + 1
+            if count == 0:
+                self.rep[key] = filter
+                bucket = self.by_attrs.get(filter.attribute_set)
+                if bucket is None:
+                    bucket = self.by_attrs[filter.attribute_set] = {}
+                bucket[key] = filter
+            for ckey, constraint in {c.key(): c for c in filter.constraints}.items():
+                ccount = self.constraint_count.get(ckey, 0)
+                self.constraint_count[ckey] = ccount + 1
+                if ccount == 0:
+                    self.constraint_rep[ckey] = constraint
+
+    def remove_contribution(self, sub_id: str) -> None:
+        filters = self.subs.pop(sub_id, None)
+        if not filters:
+            return
+        for filter in filters:
+            self.total -= 1
+            key = filter.key()
+            count = self.key_count[key] - 1
+            if count:
+                self.key_count[key] = count
+            else:
+                del self.key_count[key]
+                del self.rep[key]
+                bucket = self.by_attrs[filter.attribute_set]
+                del bucket[key]
+                if not bucket:
+                    del self.by_attrs[filter.attribute_set]
+            for ckey in {c.key() for c in filter.constraints}:
+                ccount = self.constraint_count[ckey] - 1
+                if ccount:
+                    self.constraint_count[ckey] = ccount
+                else:
+                    del self.constraint_count[ckey]
+                    del self.constraint_rep[ckey]
+
+    def empty(self) -> bool:
+        return not self.subs
+
+    def merged_filter(self) -> Filter:
+        """The constraint intersection of the advertised multiset.
+
+        Identical (as a filter, i.e. by key) to folding ``Filter.merge`` over
+        the multiset: ``merge`` keeps the constraints present in both
+        operands, so the fold keeps exactly the constraints present in every
+        advertised filter.
+        """
+        total = self.total
+        return Filter(
+            constraint
+            for ckey, constraint in self.constraint_rep.items()
+            if self.constraint_count[ckey] == total
+        )
+
+
+class _ForwardedFilterIndex:
+    """Incrementally maintained cover structure over forwarded filters.
+
+    One :class:`_LinkAdverts` per link plus a globally memoised ``covers``
+    relation keyed by filter-key pairs (filter keys identify filters up to
+    semantic equality, so the memo is sound).  The cache is cleared when it
+    exceeds :data:`COVERS_CACHE_LIMIT` entries, bounding broker memory.
+    """
+
+    COVERS_CACHE_LIMIT = 1 << 20
+
+    def __init__(self) -> None:
+        self._links: Dict[str, _LinkAdverts] = {}
+        self._covers_cache: Dict[Tuple[Tuple, Tuple], bool] = {}
+
+    # ---------------------------------------------------------- maintenance
+    def set_contribution(self, sub_id: str, link: str, filters: List[Filter]) -> None:
+        state = self._links.get(link)
+        if state is None:
+            state = self._links[link] = _LinkAdverts()
+        state.set_contribution(sub_id, filters)
+
+    def remove_contribution(self, sub_id: str, link: str) -> None:
+        state = self._links.get(link)
+        if state is None:
+            return
+        state.remove_contribution(sub_id)
+        if state.empty():
+            del self._links[link]
+
+    # --------------------------------------------------------------- queries
+    def has_key(self, link: str, key: Tuple) -> bool:
+        state = self._links.get(link)
+        return state is not None and key in state.key_count
+
+    def covers_cached(self, coverer: Filter, coveree: Filter) -> bool:
+        pair = (coverer.key(), coveree.key())
+        cache = self._covers_cache
+        verdict = cache.get(pair)
+        if verdict is None:
+            verdict = coverer.covers(coveree)
+            if len(cache) >= self.COVERS_CACHE_LIMIT:
+                cache.clear()
+            cache[pair] = verdict
+        return verdict
+
+    def covered(self, link: str, filter: Filter) -> bool:
+        """True iff some filter advertised over ``link`` covers ``filter``."""
+        state = self._links.get(link)
+        if state is None:
+            return False
+        key = filter.key()
+        if key in state.key_count:
+            # an identically-keyed filter is advertised over the link;
+            # covers() is reflexive for every well-behaved constraint, but a
+            # NaN-valued equality is not equal to itself, so evaluate the
+            # (memoised) relation instead of assuming — scan mode would
+            if self.covers_cached(state.rep[key], filter):
+                return True
+        attrs = filter.attribute_set
+        for bucket_attrs, bucket in state.by_attrs.items():
+            if not bucket_attrs <= attrs:
+                continue
+            for rep in bucket.values():
+                if self.covers_cached(rep, filter):
+                    return True
+        return False
+
+    def count(self, link: str) -> int:
+        state = self._links.get(link)
+        return state.total if state is not None else 0
+
+    def merged_filter(self, link: str) -> Filter:
+        return self._links[link].merged_filter()
+
+    def subs_on(self, link: str) -> Dict[str, List[Filter]]:
+        state = self._links.get(link)
+        return dict(state.subs) if state is not None else {}
+
+    def filters_on(self, link: str) -> List[Filter]:
+        """The advertised multiset of a link (test/diagnostic view)."""
+        state = self._links.get(link)
+        if state is None:
+            return []
+        return [filter for filters in state.subs.values() for filter in filters]
+
+
 class RoutingStrategy:
     """Base class: subscription-forwarding behaviour shared by all strategies."""
 
     name = "abstract"
+    #: strategies that consult the forwarded-filter set in needs_forwarding /
+    #: merging; flooding and simple routing never do, so they skip the index.
+    uses_advert_index = False
 
-    def __init__(self, broker: RoutingBroker):
+    def __init__(self, broker: RoutingBroker, advertising: str = "incremental"):
+        if advertising not in ADVERTISING_NAMES:
+            raise ValueError(
+                f"unknown advertising mode {advertising!r}; available: {ADVERTISING_NAMES}"
+            )
         self.broker = broker
+        self.advertising = advertising
         # sub_id -> links this broker has forwarded the subscription to
         self._forwarded: Dict[str, Set[str]] = defaultdict(set)
+        self._index: Optional[_ForwardedFilterIndex] = (
+            _ForwardedFilterIndex()
+            if advertising == "incremental" and self.uses_advert_index
+            else None
+        )
+        # links whose advertised set changed since the last merge fold
+        self._adverts_changed: Set[str] = set()
 
     # ------------------------------------------------------------ subscriptions
     def handle_subscribe(self, subscription: Subscription, from_link: str) -> None:
         """Record the subscription and forward it where the strategy requires."""
         self.broker.routing_table.add_subscription(subscription, from_link)
+        if subscription.sub_id in self._forwarded:
+            # an already-forwarded subscription gained a routing-table entry:
+            # its advertised contributions changed, in both modes
+            self._refresh_contributions(subscription.sub_id)
         for link in self._forward_targets(from_link):
             if self.needs_forwarding(subscription.filter, link):
                 self._do_forward(subscription, link)
@@ -73,9 +297,26 @@ class RoutingStrategy:
         """Remove the subscription's entry for ``from_link`` and propagate."""
         self.broker.routing_table.remove(sub_id, link=from_link)
         forwarded_links = self._forwarded.pop(sub_id, set())
+        if self._index is not None:
+            for link in forwarded_links:
+                self._index.remove_contribution(sub_id, link)
+        self._adverts_changed.update(forwarded_links)
         for link in forwarded_links:
             self.broker.forward_unsubscribe(sub_id, filter, link)
         self._reforward_uncovered(filter, forwarded_links)
+
+    def on_entries_removed(self, entries: Iterable) -> None:
+        """The broker removed routing-table entries behind our back.
+
+        Called after bulk removals (link detach) that bypass
+        :meth:`handle_unsubscribe`, so the incremental index can re-derive
+        the contributions of still-forwarded subscriptions from the live
+        table (scan mode only needs the changed-adverts marks: it reads the
+        table on every query).
+        """
+        for sub_id in {entry.sub_id for entry in entries}:
+            if sub_id in self._forwarded:
+                self._refresh_contributions(sub_id)
 
     # ------------------------------------------------------------- notifications
     def route(self, notification: Mapping, from_link: str) -> List[str]:
@@ -87,12 +328,57 @@ class RoutingStrategy:
         """Strategy-specific test: must ``filter`` be advertised over ``link``?"""
         return True
 
+    def set_advertising(self, advertising: str) -> None:
+        """Switch the subscription-control implementation, rebuilding the index."""
+        if advertising not in ADVERTISING_NAMES:
+            raise ValueError(
+                f"unknown advertising mode {advertising!r}; available: {ADVERTISING_NAMES}"
+            )
+        if advertising == self.advertising:
+            return
+        self.advertising = advertising
+        if advertising == "scan" or not self.uses_advert_index:
+            self._index = None
+        else:
+            self._index = _ForwardedFilterIndex()
+            for sub_id, links in self._forwarded.items():
+                filters = [
+                    entry.filter
+                    for entry in self.broker.routing_table.entries_for_sub(sub_id)
+                ]
+                for link in links:
+                    self._index.set_contribution(sub_id, link, filters)
+        self._adverts_changed.update(
+            link for links in self._forwarded.values() for link in links
+        )
+
     def _forward_targets(self, from_link: str) -> List[str]:
         return [link for link in self.broker.broker_neighbors() if link != from_link]
 
     def _do_forward(self, subscription: Subscription, link: str) -> None:
-        self._forwarded[subscription.sub_id].add(link)
+        sub_id = subscription.sub_id
+        self._forwarded[sub_id].add(link)
+        if self._index is not None:
+            self._index.set_contribution(
+                sub_id,
+                link,
+                [entry.filter for entry in self.broker.routing_table.entries_for_sub(sub_id)],
+            )
+        self._adverts_changed.add(link)
         self.broker.forward_subscribe(subscription, link)
+
+    def _refresh_contributions(self, sub_id: str) -> None:
+        """A forwarded subscription's table entries changed: re-derive its
+        index contributions and mark its links' advertised sets changed."""
+        links = self._forwarded.get(sub_id, ())
+        if self._index is not None:
+            filters = [
+                entry.filter
+                for entry in self.broker.routing_table.entries_for_sub(sub_id)
+            ]
+            for link in links:
+                self._index.set_contribution(sub_id, link, filters)
+        self._adverts_changed.update(links)
 
     def _forwarded_filters(self, link: str) -> List[Filter]:
         filters = []
@@ -112,18 +398,27 @@ class RoutingStrategy:
         if not removed_from_links:
             return
         table = self.broker.routing_table
+        # Group candidate entries by (sub_id, link) up front: a subscription
+        # with entries on several links must produce at most one shadow
+        # forward per link, but every entry's filter is tried — a later
+        # entry's filter may be the one that actually needs re-advertising.
+        pending: Dict[Tuple[str, str], List] = {}
         for sub_id in list(table.subscription_ids()):
+            forwarded = self._forwarded.get(sub_id, set())
             for entry in table.entries_for_sub(sub_id):
                 for link in removed_from_links:
-                    if link == entry.link:
+                    if link == entry.link or link in forwarded:
                         continue
-                    if link in self._forwarded.get(sub_id, set()):
-                        continue
-                    if self.needs_forwarding(entry.filter, link):
-                        shadow = Subscription(
-                            sub_id=sub_id, filter=entry.filter, subscriber=entry.link
-                        )
-                        self._do_forward(shadow, link)
+                    pending.setdefault((sub_id, link), []).append(entry)
+        for (sub_id, link), entries in pending.items():
+            for entry in entries:
+                if link in self._forwarded.get(sub_id, ()):
+                    break  # an earlier entry already restored this pair
+                if self.needs_forwarding(entry.filter, link):
+                    shadow = Subscription(
+                        sub_id=sub_id, filter=entry.filter, subscriber=entry.link
+                    )
+                    self._do_forward(shadow, link)
 
     # -------------------------------------------------------------------- stats
     def forwarded_count(self) -> int:
@@ -163,8 +458,11 @@ class IdentityRouting(SimpleRouting):
     """Suppress forwarding of filters identical to one already forwarded on a link."""
 
     name = "identity"
+    uses_advert_index = True
 
     def needs_forwarding(self, filter: Filter, link: str) -> bool:
+        if self._index is not None:
+            return not self._index.has_key(link, filter.key())
         return all(existing != filter for existing in self._forwarded_filters(link))
 
 
@@ -172,8 +470,11 @@ class CoveringRouting(SimpleRouting):
     """Suppress forwarding of filters covered by one already forwarded on a link."""
 
     name = "covering"
+    uses_advert_index = True
 
     def needs_forwarding(self, filter: Filter, link: str) -> bool:
+        if self._index is not None:
+            return not self._index.covered(link, filter)
         return not any(existing.covers(filter) for existing in self._forwarded_filters(link))
 
 
@@ -185,13 +486,18 @@ class MergingRouting(CoveringRouting):
     and retracts the individual advertisements.  The merge is *imperfect*
     (it may be broader than the union), which increases notification traffic
     towards this broker but never loses notifications.
+
+    The fold is only recomputed for links whose advertised set actually
+    changed since the last call (``_adverts_changed``); in incremental mode
+    the merged filter is additionally read straight from the maintained
+    constraint counts instead of re-folding the merge chain.
     """
 
     name = "merging"
     merge_threshold = 4
 
-    def __init__(self, broker: RoutingBroker):
-        super().__init__(broker)
+    def __init__(self, broker: RoutingBroker, advertising: str = "incremental"):
+        super().__init__(broker, advertising=advertising)
         # link -> merged subscription currently advertised (if any)
         self._merged_subs: Dict[str, Subscription] = {}
 
@@ -201,12 +507,20 @@ class MergingRouting(CoveringRouting):
             self._maybe_merge(link)
 
     def _maybe_merge(self, link: str) -> None:
-        forwarded = self._forwarded_filters(link)
-        if len(forwarded) <= self.merge_threshold:
-            return
-        merged_filter = forwarded[0]
-        for other in forwarded[1:]:
-            merged_filter = merged_filter.merge(other)
+        if link not in self._adverts_changed:
+            return  # advertised set unchanged since the last fold
+        self._adverts_changed.discard(link)
+        if self._index is not None:
+            if self._index.count(link) <= self.merge_threshold:
+                return
+            merged_filter = self._index.merged_filter(link)
+        else:
+            forwarded = self._forwarded_filters(link)
+            if len(forwarded) <= self.merge_threshold:
+                return
+            merged_filter = forwarded[0]
+            for other in forwarded[1:]:
+                merged_filter = merged_filter.merge(other)
         previous = self._merged_subs.get(link)
         if previous is not None and previous.filter == merged_filter:
             return
@@ -219,7 +533,24 @@ class MergingRouting(CoveringRouting):
             self.broker.forward_unsubscribe(previous.sub_id, previous.filter, link)
         self.broker.forward_subscribe(merged, link)
         self._merged_subs[link] = merged
-        # Retract the fine-grained advertisements now covered by the merge.
+        self._retract_covered_adverts(merged_filter, link)
+
+    def _retract_covered_adverts(self, merged_filter: Filter, link: str) -> None:
+        """Retract the fine-grained advertisements now covered by the merge."""
+        if self._index is not None:
+            link_subs = self._index.subs_on(link)
+            # iterate in _forwarded insertion order: the same retraction
+            # order the scan baseline produces
+            for sub_id in list(self._forwarded):
+                filters = link_subs.get(sub_id)
+                if filters and all(
+                    self._index.covers_cached(merged_filter, filter) for filter in filters
+                ):
+                    self.broker.forward_unsubscribe(sub_id, filters[0], link)
+                    self._forwarded[sub_id].discard(link)
+                    self._index.remove_contribution(sub_id, link)
+                    self._adverts_changed.add(link)
+            return
         for sub_id, links in list(self._forwarded.items()):
             if link in links:
                 entries = self.broker.routing_table.entries_for_sub(sub_id)
@@ -227,6 +558,7 @@ class MergingRouting(CoveringRouting):
                 if filters and all(merged_filter.covers(f) for f in filters):
                     self.broker.forward_unsubscribe(sub_id, filters[0], link)
                     links.discard(link)
+                    self._adverts_changed.add(link)
 
 
 STRATEGIES = {
@@ -238,7 +570,9 @@ STRATEGIES = {
 }
 
 
-def make_strategy(name: str, broker: RoutingBroker) -> RoutingStrategy:
+def make_strategy(
+    name: str, broker: RoutingBroker, advertising: str = "incremental"
+) -> RoutingStrategy:
     """Instantiate the routing strategy called ``name`` for ``broker``."""
     try:
         cls = STRATEGIES[name]
@@ -246,4 +580,4 @@ def make_strategy(name: str, broker: RoutingBroker) -> RoutingStrategy:
         raise ValueError(
             f"unknown routing strategy {name!r}; available: {sorted(STRATEGIES)}"
         ) from None
-    return cls(broker)
+    return cls(broker, advertising=advertising)

@@ -16,7 +16,9 @@ Two matching strategies are available (the ``matcher`` knob):
 * ``"indexed"`` (default) — a per-link attribute index in the style of the
   counting/pre-filtering algorithms the paper references via [16].  Each
   entry with a hashable equality constraint is bucketed under its
-  ``(attribute, value)`` pair; at match time only the buckets selected by the
+  ``(attribute, value)`` pair; entries whose best constraint is a ``Range``
+  are bucketed in a per-attribute segment index (sorted boundaries +
+  bisect).  At match time only the buckets/segments selected by the
   notification's own attribute/value pairs (plus the unindexable entries)
   are evaluated, and each link short-circuits on its first matching entry.
   Results are identical to brute force — the index is purely a candidate
@@ -34,7 +36,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set
 
 from .filters import Filter
-from .matching import pick_index_key
+from .matching import RangeSegmentIndex, pick_index_key, pick_range_constraint
 from .subscription import Subscription
 
 MATCHER_NAMES = ("brute", "indexed")
@@ -66,20 +68,32 @@ class _LinkIndex:
     value — following the ``(attribute, value)`` pair chosen by
     :func:`~repro.pubsub.matching.pick_index_key`.  Two flat dict probes per
     notification attribute beat a combined-tuple key: attribute strings cache
-    their hashes, and no tuple is allocated per probe.  ``unindexed`` holds
-    entries with no usable equality constraint, which must always be
+    their hashes, and no tuple is allocated per probe.  Entries without a
+    usable equality constraint but with a ``Range`` constraint go into a
+    per-attribute :class:`~repro.pubsub.matching.RangeSegmentIndex` (sorted
+    boundaries + bisect) and are pre-selected by the notification's numeric
+    value; ``unindexed`` holds only the remainder, which must always be
     evaluated.
     """
 
-    __slots__ = ("by_attr", "unindexed")
+    __slots__ = ("by_attr", "by_range", "unindexed")
 
     def __init__(self) -> None:
         self.by_attr: Dict[str, Dict[object, Dict[str, RouteEntry]]] = {}
+        self.by_range: Dict[str, RangeSegmentIndex] = {}
         self.unindexed: Dict[str, RouteEntry] = {}
 
     def add(self, entry: RouteEntry) -> None:
         key = pick_index_key(entry.filter)
         if key is None:
+            range_constraint = pick_range_constraint(entry.filter)
+            if range_constraint is not None:
+                attribute = range_constraint.attribute
+                index = self.by_range.get(attribute)
+                if index is None:
+                    index = self.by_range[attribute] = RangeSegmentIndex()
+                index.add(entry.sub_id, range_constraint, entry)
+                return
             self.unindexed[entry.sub_id] = entry
             return
         attribute, value = key
@@ -94,6 +108,14 @@ class _LinkIndex:
     def discard(self, entry: RouteEntry) -> None:
         key = pick_index_key(entry.filter)
         if key is None:
+            range_constraint = pick_range_constraint(entry.filter)
+            if range_constraint is not None:
+                index = self.by_range.get(range_constraint.attribute)
+                if index is not None:
+                    index.discard(entry.sub_id)
+                    if not len(index):
+                        del self.by_range[range_constraint.attribute]
+                return
             self.unindexed.pop(entry.sub_id, None)
             return
         attribute, value = key
@@ -108,15 +130,20 @@ class _LinkIndex:
                 if not buckets:
                     del self.by_attr[attribute]
 
+    def empty(self) -> bool:
+        return not self.by_attr and not self.by_range and not self.unindexed
+
     def candidates(self, items) -> Iterator[RouteEntry]:
         """Yield the entries that could match a notification with ``items``.
 
         ``items`` is the notification's attribute/value pairs, precomputed
         once by the caller and shared across every link probed.  Unindexable
-        entries come first, then the buckets selected by the notification's
-        own pairs.  No entry is yielded twice: each lives in exactly one
-        bucket or in ``unindexed``.  This is the single definition of
-        candidate pre-selection; every query path goes through it.
+        entries come first, then the equality buckets and range segments
+        selected by the notification's own pairs.  No entry is yielded twice:
+        each lives in exactly one bucket, one range segment index or in
+        ``unindexed``, and a notification carries each attribute once.  This
+        is the single definition of candidate pre-selection; every query path
+        goes through it.
         """
         yield from self.unindexed.values()
         by_attr = self.by_attr
@@ -131,6 +158,12 @@ class _LinkIndex:
                     continue
                 if bucket:
                     yield from bucket.values()
+        by_range = self.by_range
+        if by_range:
+            for attribute, value in items:
+                index = by_range.get(attribute)
+                if index is not None:
+                    yield from index.candidates(value)
 
 
 class RoutingTable:
@@ -180,7 +213,7 @@ class RoutingTable:
         if index is None:
             return
         index.discard(entry)
-        if not index.by_attr and not index.unindexed:
+        if index.empty():
             del self._index[entry.link]
 
     # ------------------------------------------------------------------ admin

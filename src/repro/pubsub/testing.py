@@ -1,0 +1,57 @@
+"""Doubles for exercising routing strategies outside a full broker network.
+
+Shared by the equivalence tests (``tests/test_routing_advertising.py``) and
+the subscription-control benchmark (``benchmarks/bench_covering_scale.py``),
+both of which need to drive a strategy directly and compare the control
+messages it emits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .routing_table import RoutingTable
+
+
+class RecordingBroker:
+    """The narrow broker interface a routing strategy sees, with a message log.
+
+    Every ``forward_subscribe``/``forward_unsubscribe`` call is appended to
+    :attr:`log` as ``(kind, link, sub_id, filter_key)`` so two strategy runs
+    can be compared message by message.
+    """
+
+    def __init__(self, neighbors):
+        self.routing_table = RoutingTable()
+        self._neighbors = list(neighbors)
+        self.log: List[Tuple[str, str, str, Tuple]] = []
+
+    def broker_neighbors(self):
+        return list(self._neighbors)
+
+    def client_links(self):
+        return []
+
+    def forward_subscribe(self, subscription, link):
+        self.log.append(
+            ("subscribe", link, subscription.sub_id, subscription.filter.key())
+        )
+
+    def forward_unsubscribe(self, sub_id, filter, link):
+        self.log.append(("unsubscribe", link, sub_id, filter.key()))
+
+
+def normalize_merged_ids(log):
+    """Map generated merged-subscription ids to first-appearance ordinals.
+
+    Merged advertisements draw ids from a process-global counter, so two
+    otherwise identical runs disagree on the literal ids; the sequence of
+    merges is what must match.
+    """
+    mapping = {}
+    result = []
+    for kind, link, sub_id, filter_key in log:
+        if sub_id.startswith("merged-"):
+            sub_id = mapping.setdefault(sub_id, f"merged#{len(mapping)}")
+        result.append((kind, link, sub_id, filter_key))
+    return result

@@ -14,12 +14,23 @@ import random
 
 import pytest
 
-from repro.pubsub.filters import Equals, Filter, InSet, Prefix, Range, match_all
+from repro.pubsub.filters import (
+    AtLeast,
+    Equals,
+    Filter,
+    InSet,
+    LessThan,
+    Prefix,
+    Range,
+    match_all,
+)
 from repro.pubsub.matching import (
     AttributeIndexMatcher,
     BruteForceMatcher,
+    RangeSegmentIndex,
     cross_check,
     pick_index_key,
+    pick_range_constraint,
 )
 from repro.pubsub.notification import Notification
 from repro.pubsub.subscription import subscription
@@ -111,6 +122,185 @@ class TestMatcherEquivalence:
         n = Notification({"tags": ["a", "b"]})  # unhashable value under an indexed attribute
         assert cross_check([brute, indexed], [n])
         assert indexed.matching_ids(n) == set()
+
+
+def random_range_subscription(rng: random.Random, index: int):
+    """Filters dominated by Range/LessThan/AtLeast constraints (the paper's
+    location/zone workloads), which must hit the segment index rather than
+    the always-evaluated fallback set."""
+    roll = rng.random()
+    attribute = rng.choice(["value", "temperature", "zone"])
+    if roll < 0.35:
+        low = rng.randint(0, 40)
+        constraints = [Range(attribute, low, low + rng.choice([3, 8, 15]))]
+    elif roll < 0.55:
+        constraints = [LessThan(attribute, rng.randint(5, 45))]
+    elif roll < 0.75:
+        constraints = [AtLeast(attribute, rng.randint(5, 45))]
+    elif roll < 0.85:
+        # half-open both ways around the same point: exercises boundary hits
+        point = rng.randint(0, 50)
+        constraints = [Range(attribute, point, point)]
+    else:
+        # a second range on another attribute: only one can be the index key
+        constraints = [
+            Range("value", rng.randint(0, 20), rng.randint(25, 50)),
+            AtLeast("zone", rng.randint(0, 10)),
+        ]
+    if rng.random() < 0.25:
+        constraints.append(Range("extra", 0, rng.randint(10, 60), include_high=False))
+    return subscription(Filter(constraints), subscriber=f"c{index}", sub_id=f"s{index}")
+
+
+def random_range_notification(rng: random.Random) -> Notification:
+    attrs = {
+        "value": rng.randint(0, 55),
+        "temperature": rng.randint(0, 55),
+        "zone": rng.randint(0, 12),
+    }
+    if rng.random() < 0.3:
+        attrs["extra"] = rng.randint(0, 70)
+    if rng.random() < 0.1:
+        attrs["value"] = "not-a-number"  # Range never matches non-numeric values
+    if rng.random() < 0.1:
+        del attrs["zone"]
+    return Notification(attrs)
+
+
+class TestRangeHeavyEquivalence:
+    """Satellite acceptance: Range-dominated workloads stay exact under the
+    segment index, for both matchers and all five routing strategies."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_cross_check_randomized(self, seed):
+        rng = random.Random(500 + seed)
+        brute = BruteForceMatcher()
+        indexed = AttributeIndexMatcher()
+        for i in range(rng.randint(30, 150)):
+            sub = random_range_subscription(rng, i)
+            brute.add(sub)
+            indexed.add(sub)
+        notifications = [random_range_notification(rng) for _ in range(150)]
+        assert cross_check([brute, indexed], notifications)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cross_check_with_removals(self, seed):
+        rng = random.Random(600 + seed)
+        brute = BruteForceMatcher()
+        indexed = AttributeIndexMatcher()
+        subs = [random_range_subscription(rng, i) for i in range(90)]
+        for sub in subs:
+            brute.add(sub)
+            indexed.add(sub)
+        for sub in rng.sample(subs, 45):
+            assert brute.remove(sub.sub_id) is not None
+            assert indexed.remove(sub.sub_id) is not None
+        assert len(brute) == len(indexed) == 45
+        notifications = [random_range_notification(rng) for _ in range(120)]
+        assert cross_check([brute, indexed], notifications)
+
+    def test_range_filters_are_not_unindexed(self):
+        """A range-only filter must land in the segment index, not the
+        always-evaluated fallback set."""
+        indexed = AttributeIndexMatcher()
+        for i in range(20):
+            low = 3 * i
+            indexed.add(
+                subscription(Filter([Range("value", low, low + 2)]), "c", sub_id=f"s{i}")
+            )
+        indexed.full_evaluations = 0
+        matched = indexed.match(Notification({"value": 31}))
+        assert {s.sub_id for s in matched} == {"s10"}  # [30, 32]
+        # only the segment containing 31 was evaluated, not all 20 filters
+        assert indexed.full_evaluations <= 2
+
+    @pytest.mark.parametrize("strategy", ["flooding", "simple", "identity", "covering", "merging"])
+    @pytest.mark.parametrize("matcher", ["brute", "indexed"])
+    def test_all_strategies_deliver_exactly_under_range_workload(self, strategy, matcher):
+        from repro.net.simulator import Simulator
+        from repro.pubsub.broker_network import random_tree_topology
+
+        rng = random.Random(9)
+        sim = Simulator()
+        network = random_tree_topology(sim, 5, routing=strategy, seed=3, matcher=matcher)
+        brokers = network.broker_names()
+        subscribers = []
+        for i in range(10):
+            client = network.add_client(f"sub-{i}", brokers[i % len(brokers)])
+            sub = random_range_subscription(rng, i)
+            client.subscribe(sub.filter, sub_id=f"rs{i}")
+            subscribers.append((client, sub.filter))
+        sim.run_until_idle()
+        publisher = network.add_client("pub", brokers[0])
+        published = []
+        for i in range(50):
+            n = Notification(dict(random_range_notification(rng)), notification_id=100 + i)
+            publisher.publish(n)
+            published.append(n)
+        sim.run_until_idle()
+        for client, filter in subscribers:
+            expected = sorted(
+                n.notification_id for n in published if filter.matches(n)
+            )
+            received = sorted(d.notification.notification_id for d in client.deliveries)
+            assert received == expected, f"{strategy}/{matcher}: {client.name}"
+
+
+class TestRangeSegmentIndex:
+    def test_stabbing_and_boundaries(self):
+        index = RangeSegmentIndex()
+        index.add("a", Range("v", 0, 10), "A")
+        index.add("b", Range("v", 10, 20), "B")
+        index.add("c", Range("v", 5, 15), "C")
+        assert set(index.candidates(10)) == {"A", "B", "C"}  # boundary point
+        assert set(index.candidates(3)) == {"A"}
+        assert set(index.candidates(12)) == {"B", "C"}
+        assert set(index.candidates(25)) == set()
+        assert index.candidates("nan-string") == []
+        assert index.candidates(True) == []
+
+    def test_half_open_and_infinite_ranges(self):
+        index = RangeSegmentIndex()
+        index.add("lt", LessThan("v", 10), "LT")
+        index.add("ge", AtLeast("v", 5), "GE")
+        index.add("all", Range("v"), "ALL")
+        assert set(index.candidates(0)) == {"LT", "ALL"}
+        assert set(index.candidates(7)) == {"LT", "GE", "ALL"}
+        assert set(index.candidates(100)) == {"GE", "ALL"}
+        # candidacy ignores endpoint inclusivity: LessThan(10) still appears
+        # for value 10 (full evaluation rejects it afterwards)
+        assert "LT" in set(index.candidates(10))
+
+    def test_discard_and_rebuild(self):
+        index = RangeSegmentIndex()
+        index.add("a", Range("v", 0, 10), "A")
+        index.add("b", Range("v", 5, 15), "B")
+        assert set(index.candidates(7)) == {"A", "B"}
+        index.discard("a")
+        assert set(index.candidates(7)) == {"B"}
+        index.discard("b")
+        assert index.candidates(7) == []
+        assert len(index) == 0
+
+    def test_overlapping_ranges_coarsen_but_stay_exact(self):
+        """Heavily overlapping ranges trip the memory guard: the boundary
+        list is coarsened, results stay a superset and memory stays linear."""
+        index = RangeSegmentIndex()
+        for i in range(80):
+            index.add(f"s{i}", Range("v", i, 1000 + i), f"P{i}")
+        candidates = set(index.candidates(500))
+        assert candidates == {f"P{i}" for i in range(80)}
+        slots = sum(len(segment) for segment in index._segments)
+        assert slots <= RangeSegmentIndex.MAX_SLOTS_PER_ENTRY * 80 + 64
+        # selective queries still prune: nothing matches left of all ranges
+        assert index.candidates(-5) == []
+
+    def test_pick_range_constraint_prefers_bounded(self):
+        bounded = Range("a", 0, 5)
+        half = AtLeast("b", 3)
+        assert pick_range_constraint(Filter([half, bounded])) is bounded
+        assert pick_range_constraint(Filter([half])) is half
+        assert pick_range_constraint(Filter([Equals("a", 1)])) is None
 
 
 class TestPickIndexKey:

@@ -1,0 +1,328 @@
+"""Scan vs incremental subscription-control equivalence.
+
+The incremental forwarded-filter index (``advertising="incremental"``) is a
+maintained view of exactly the state the scan baseline recomputes per query,
+so both modes must make identical forwarding decisions — byte-identical
+control messages up to the generated ids of merged subscriptions.  These
+tests drive randomized subscribe/unsubscribe/detach churn through both modes
+side by side, at the strategy level (against a fake broker, comparing the
+emitted control-message log) and end to end (comparing deliveries, table
+contents and broker-link message counts).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.pubsub.broker_network import line_topology, random_tree_topology
+from repro.pubsub.filters import (
+    Equals,
+    Filter,
+    InSet,
+    Prefix,
+    Range,
+    match_all,
+)
+from repro.pubsub.notification import Notification
+from repro.pubsub.routing import ADVERTISING_NAMES, STRATEGIES, make_strategy
+from repro.pubsub.subscription import Subscription
+from repro.pubsub.testing import RecordingBroker as FakeBroker
+from repro.pubsub.testing import normalize_merged_ids as normalized
+
+SERVICES = ["temperature", "stock", "news", "traffic"]
+LOCATIONS = ["r1", "r2", "r3", "r4"]
+
+#: strategies whose forwarding decisions depend on the forwarded-filter set
+INDEXED_STRATEGIES = ("identity", "covering", "merging")
+
+
+def random_filter(rng: random.Random) -> Filter:
+    """Overlap-heavy filters: equality, ranges, prefixes, the empty filter."""
+    roll = rng.random()
+    if roll < 0.05:
+        return match_all()
+    constraints = []
+    if roll < 0.45:
+        constraints.append(Equals("service", rng.choice(SERVICES)))
+    elif roll < 0.60:
+        constraints.append(InSet("location", rng.sample(LOCATIONS, rng.randint(1, 3))))
+    elif roll < 0.75:
+        low = rng.randint(0, 30)
+        constraints.append(Range("value", low, low + rng.choice([5, 10, 20])))
+    else:
+        constraints.append(Prefix("service", rng.choice(["t", "s", "ne"])))
+    if rng.random() < 0.5:
+        low = rng.randint(0, 30)
+        constraints.append(Range("value", low, low + rng.choice([10, 25])))
+    return Filter(constraints)
+
+
+def drive(strategy_name: str, advertising: str, seed: int, steps: int = 160):
+    """Run a random subscribe/unsubscribe workload; return (log, forwarded state)."""
+    rng = random.Random(seed)
+    broker = FakeBroker(["N1", "N2", "N3"])
+    strategy = make_strategy(strategy_name, broker, advertising=advertising)
+    links = ["c1", "c2", "N1", "N2"]  # subscriptions arrive from clients and brokers
+    live = []
+    for step in range(steps):
+        roll = rng.random()
+        if roll < 0.62 or not live:
+            sub_id = f"s{step}"
+            filter = random_filter(rng)
+            from_link = rng.choice(links)
+            strategy.handle_subscribe(
+                Subscription(sub_id=sub_id, filter=filter, subscriber=from_link),
+                from_link,
+            )
+            live.append((sub_id, filter, from_link))
+        elif roll < 0.70:
+            # re-subscribe a live subscription from another link: an
+            # already-forwarded sub_id gains a second routing-table entry
+            sub_id, filter, from_link = rng.choice(live)
+            other_link = rng.choice([l for l in links if l != from_link])
+            strategy.handle_subscribe(
+                Subscription(sub_id=sub_id, filter=filter, subscriber=other_link),
+                other_link,
+            )
+        else:
+            index = rng.randrange(len(live))
+            sub_id, filter, from_link = live.pop(index)
+            strategy.handle_unsubscribe(sub_id, filter, from_link)
+    forwarded = {
+        sub_id: sorted(links) for sub_id, links in strategy._forwarded.items() if links
+    }
+    return broker.log, forwarded
+
+
+class TestStrategyLevelEquivalence:
+    @pytest.mark.parametrize("strategy", INDEXED_STRATEGIES)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_identical_control_messages_under_churn(self, strategy, seed):
+        scan_log, scan_fwd = drive(strategy, "scan", seed)
+        inc_log, inc_fwd = drive(strategy, "incremental", seed)
+        assert normalized(scan_log) == normalized(inc_log)
+        assert {k: v for k, v in scan_fwd.items() if not k.startswith("merged-")} == {
+            k: v for k, v in inc_fwd.items() if not k.startswith("merged-")
+        }
+
+    @pytest.mark.parametrize("strategy", INDEXED_STRATEGIES)
+    def test_set_advertising_rebuilds_index_mid_flight(self, strategy):
+        rng = random.Random(42)
+        broker = FakeBroker(["N1", "N2"])
+        strategy_obj = make_strategy(strategy, broker, advertising="scan")
+        live = []
+        for step in range(40):
+            sub_id = f"s{step}"
+            filter = random_filter(rng)
+            strategy_obj.handle_subscribe(
+                Subscription(sub_id=sub_id, filter=filter, subscriber="c1"), "c1"
+            )
+            live.append((sub_id, filter))
+        strategy_obj.set_advertising("incremental")
+        assert strategy_obj.advertising == "incremental"
+        # decisions after the switch must match a pure-scan twin
+        twin_broker = FakeBroker(["N1", "N2"])
+        twin = make_strategy(strategy, twin_broker, advertising="scan")
+        for sub_id, filter in live:
+            twin.handle_subscribe(
+                Subscription(sub_id=sub_id, filter=filter, subscriber="c1"), "c1"
+            )
+        probe_rng = random.Random(7)
+        for i in range(60):
+            f = random_filter(probe_rng)
+            for link in ("N1", "N2"):
+                assert strategy_obj.needs_forwarding(f, link) == twin.needs_forwarding(f, link)
+        # switching back drops the index and keeps agreeing
+        strategy_obj.set_advertising("scan")
+        for i in range(20):
+            f = random_filter(probe_rng)
+            assert strategy_obj.needs_forwarding(f, "N1") == twin.needs_forwarding(f, "N1")
+
+    def test_unknown_advertising_rejected(self):
+        broker = FakeBroker(["N1"])
+        with pytest.raises(ValueError):
+            make_strategy("covering", broker, advertising="magic")
+        strategy = make_strategy("covering", broker)
+        with pytest.raises(ValueError):
+            strategy.set_advertising("magic")
+
+    def test_reforward_dedupes_multi_link_subscriptions(self):
+        """A subscription with entries on several links re-forwards once per link."""
+        broker = FakeBroker(["N1", "N2"])
+        strategy = make_strategy("covering", broker, advertising="incremental")
+        broad = Filter([Equals("service", "t")])
+        narrow = Filter([Equals("service", "t"), Equals("location", "r1")])
+        strategy.handle_subscribe(Subscription("cover", broad, "c1"), "c1")
+        # the same narrow subscription arrives over two client links: its
+        # forwarding is suppressed by the broad cover on both broker links
+        strategy.handle_subscribe(Subscription("multi", narrow, "c1"), "c1")
+        strategy.handle_subscribe(Subscription("multi", narrow, "c2"), "c2")
+        broker.log.clear()
+        strategy.handle_unsubscribe("cover", broad, "c1")
+        shadow_forwards = [
+            entry for entry in broker.log if entry[0] == "subscribe" and entry[2] == "multi"
+        ]
+        assert sorted(e[1] for e in shadow_forwards) == ["N1", "N2"]
+        assert len(shadow_forwards) == len(set(shadow_forwards))
+
+    @pytest.mark.parametrize("advertising", ADVERTISING_NAMES)
+    def test_reforward_tries_every_entry_filter(self, advertising):
+        """A multi-link subscription whose entries carry *different* filters:
+        if the first entry's filter is still covered but the second's is not,
+        the second must be re-advertised (regression: the dedupe pass used to
+        keep only the first entry)."""
+        broker = FakeBroker(["N1"])
+        strategy = make_strategy("covering", broker, advertising=advertising)
+        f1 = Filter([Equals("service", "t")])
+        f2 = Filter([Equals("service", "s")])
+        everything = match_all()
+        # 'mid' advertises f1; 'broad' advertises match-all (covers f1, f2)
+        strategy.handle_subscribe(Subscription("mid", f1, "c1"), "c1")
+        strategy.handle_subscribe(Subscription("broad", everything, "c2"), "c2")
+        # 'multi' has entry f1 on c1 and entry f2 on c3 — both suppressed
+        strategy.handle_subscribe(Subscription("multi", f1, "c1"), "c1")
+        strategy.handle_subscribe(Subscription("multi", f2, "c3"), "c3")
+        broker.log.clear()
+        strategy.handle_unsubscribe("broad", everything, "c2")
+        # f1 stays covered by 'mid'; f2 is uncovered and must come back
+        multi_forwards = [
+            entry for entry in broker.log if entry[0] == "subscribe" and entry[2] == "multi"
+        ]
+        assert [entry[3] for entry in multi_forwards] == [f2.key()]
+
+    def test_nan_equality_filter_is_not_self_covering(self):
+        """covers() is not reflexive for NaN-valued equality constraints
+        (nan != nan), so a second identical NaN subscription must still be
+        forwarded in both modes (regression: the incremental exact-key
+        shortcut used to suppress it)."""
+        nan = float("nan")
+        logs = {}
+        for advertising in ADVERTISING_NAMES:
+            broker = FakeBroker(["N1"])
+            strategy = make_strategy("covering", broker, advertising=advertising)
+            strategy.handle_subscribe(Subscription("a", Filter([Equals("x", nan)]), "c1"), "c1")
+            strategy.handle_subscribe(Subscription("b", Filter([Equals("x", nan)]), "c1"), "c1")
+            logs[advertising] = broker.log
+        assert logs["scan"] == logs["incremental"]
+        assert [entry[2] for entry in logs["scan"]] == ["a", "b"]
+
+    def test_scan_merging_refolds_after_resubscription(self):
+        """Scan-mode merging must re-fold when an already-forwarded sub_id
+        gains a table entry from a second link (regression: the dirty flag
+        was only set in incremental mode, silencing the merge)."""
+        logs = {}
+        for advertising in ADVERTISING_NAMES:
+            broker = FakeBroker(["N1"])
+            strategy = make_strategy("merging", broker, advertising=advertising)
+            for i in range(strategy.merge_threshold):
+                strategy.handle_subscribe(
+                    Subscription(f"s{i}", Filter([Equals("value", i)]), "c1"), "c1"
+                )
+            # the threshold-crossing advert comes from a second link of s0
+            strategy.handle_subscribe(
+                Subscription("s0", Filter([Equals("value", 0)]), "c2"), "c2"
+            )
+            logs[advertising] = normalized(broker.log)
+        assert logs["scan"] == logs["incremental"]
+        assert any(sub_id.startswith("merged#") for _k, _l, sub_id, _f in logs["scan"])
+
+
+def run_network(strategy: str, advertising: str, seed: int):
+    """End-to-end churn: subscribe, unsubscribe, detach, publish."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    network = random_tree_topology(
+        sim, 6, routing=strategy, seed=seed, advertising=advertising
+    )
+    brokers = network.broker_names()
+    clients = []
+    subs = []
+    for i in range(14):
+        client = network.add_client(f"sub-{i}", brokers[i % len(brokers)])
+        # explicit ids keep the two runs comparable (the default ids come
+        # from a process-global counter)
+        subs.append(client.subscribe(random_filter(rng), sub_id=f"s{i}"))
+        clients.append(client)
+    sim.run_until_idle()
+    # churn: some unsubscribe, one client detaches entirely
+    for client, sub in zip(clients[10:12], subs[10:12]):
+        client.unsubscribe(sub)
+    sim.run_until_idle()
+    clients[12].disconnect(notify_broker=True)
+    sim.run_until_idle()
+    publisher = network.add_client("pub", brokers[0])
+    for i in range(60):
+        attrs = {
+            "service": rng.choice(SERVICES),
+            "location": rng.choice(LOCATIONS),
+            "value": rng.randint(0, 50),
+        }
+        publisher.publish(Notification(attrs, notification_id=5000 + i))
+    sim.run_until_idle()
+    deliveries = {
+        c.name: sorted(d.notification.notification_id for d in c.deliveries)
+        for c in clients[:10]
+    }
+    tables = {
+        name: {
+            (e.sub_id, e.link, e.filter.key())
+            for e in (
+                entry
+                for link in broker.routing_table.links()
+                for entry in broker.routing_table.entries_for_link(link)
+            )
+            if not e.sub_id.startswith("merged-")
+        }
+        for name, broker in network.brokers.items()
+    }
+    control = network.broker_link_messages("subscribe") + network.broker_link_messages(
+        "unsubscribe"
+    )
+    return deliveries, tables, control
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("strategy", INDEXED_STRATEGIES)
+    @pytest.mark.parametrize("seed", range(3))
+    def test_identical_deliveries_tables_and_traffic(self, strategy, seed):
+        scan = run_network(strategy, "scan", seed)
+        incremental = run_network(strategy, "incremental", seed)
+        assert scan[0] == incremental[0]  # deliveries
+        assert scan[1] == incremental[1]  # routing-table contents
+        assert scan[2] == incremental[2]  # control traffic volume
+
+
+class TestKnobThreading:
+    def test_broker_exposes_advertising(self):
+        sim = Simulator()
+        net = line_topology(sim, 2, routing="covering", advertising="scan")
+        assert all(b.advertising == "scan" for b in net.brokers.values())
+        net.brokers["B1"].set_advertising("incremental")
+        assert net.brokers["B1"].advertising == "incremental"
+
+    def test_advertising_names_registry(self):
+        assert ADVERTISING_NAMES == ("scan", "incremental")
+        assert set(INDEXED_STRATEGIES) < set(STRATEGIES)
+
+    def test_middleware_config_overrides_when_explicit(self):
+        from repro.core.location import LocationSpace
+        from repro.core.middleware import MobilePubSub, MobilitySystemConfig
+
+        sim = Simulator()
+        net = line_topology(sim, 2, routing="covering", advertising="scan")
+        space = LocationSpace({"r1": "B1", "r2": "B2"})
+        MobilePubSub(sim, net, space, config=MobilitySystemConfig(advertising="incremental"))
+        assert all(b.advertising == "incremental" for b in net.brokers.values())
+
+    def test_middleware_config_none_keeps_network_choice(self):
+        from repro.core.location import LocationSpace
+        from repro.core.middleware import MobilePubSub, MobilitySystemConfig
+
+        sim = Simulator()
+        net = line_topology(sim, 2, routing="covering", advertising="scan")
+        space = LocationSpace({"r1": "B1", "r2": "B2"})
+        MobilePubSub(sim, net, space, config=MobilitySystemConfig())
+        assert all(b.advertising == "scan" for b in net.brokers.values())

@@ -46,8 +46,12 @@ def random_filter(rng: random.Random) -> Filter:
         constraints.append(InSet("location", rng.sample(LOCATIONS, rng.randint(2, 3))))
     elif roll < 0.85:
         constraints.append(Prefix("service", rng.choice(["t", "s", "ne"])))
-    elif roll < 0.95:
+    elif roll < 0.90:
         constraints.append(NotEquals("service", rng.choice(SERVICES)))
+    elif roll < 0.95:
+        # range-only: indexed through the per-attribute segment buckets
+        low = rng.randint(0, 30)
+        return Filter([Range("value", low, low + rng.randint(0, 20))])
     else:
         # unhashable equality value: must fall back to the unindexed path
         constraints.append(Equals("tags", ["a", "b"]))
