@@ -167,6 +167,39 @@ def bench_range_table(links: int, subscriptions: int, notifications: int, seed: 
     }
 
 
+# -------------------------------------------------------- probe-order check
+
+
+def assert_cheapest_first_probe_order() -> None:
+    """Micro-assert: covering candidates are probed cheapest-first.
+
+    Builds a forwarded-filter index whose single attribute bucket holds
+    filters of different constraint counts (several constraints on the same
+    attribute share one attribute-set bucket) and checks the probe order is
+    ascending in constraint count — the PR's pruning invariant.
+    """
+    from repro.pubsub.routing import _ForwardedFilterIndex
+
+    index = _ForwardedFilterIndex()
+    three = Filter([Range("value", 0, 100), Range("value", 20, 80), Range("value", 40, 60)])
+    one = Filter([Range("value", -1000, 1000)])
+    two = Filter([Range("value", 0, 100), Range("value", 10, 90)])
+    index.set_contribution("s3", "L", [three])
+    index.set_contribution("s1", "L", [one])
+    index.set_contribution("s2", "L", [two])
+    state = index._links["L"]
+    (attrs,) = state.by_attrs
+    counts = [len(f.constraints) for f in state.ordered_bucket(attrs)]
+    assert counts == sorted(counts) == [1, 2, 3], f"probe order not cheapest-first: {counts}"
+    # the cheap broad filter must decide covered() without the narrow probes
+    assert index.covered("L", Filter([Range("value", 5, 6)]))
+    # cache invalidation: removing the cheapest rep re-sorts the bucket
+    index.remove_contribution("s1", "L")
+    counts = [len(f.constraints) for f in state.ordered_bucket(attrs)]
+    assert counts == [2, 3], f"stale probe order after removal: {counts}"
+    print("probe-order micro-assert: ok")
+
+
 # -------------------------------------------------------------------- driver
 
 
@@ -181,6 +214,7 @@ def main(argv=None) -> int:
 
     strategies = ("identity", "covering", "merging")
     if args.fast:
+        assert_cheapest_first_probe_order()
         churn_configs = [(s, 1000, 4, True) for s in strategies]
         range_configs = [(4, 1000)]
         # same notification count as the full sweep: the record shares its

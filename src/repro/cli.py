@@ -7,6 +7,9 @@ without writing code:
   print the result tables, optionally writing a markdown report;
 * ``repro demo`` — run one of the bundled example scenarios (quickstart,
   office floor, highway, commuter) and print its output;
+* ``repro net-demo`` — boot a small broker graph on a transport backend
+  (real asyncio localhost sockets by default, or the deterministic
+  simulator), publish, and verify end-to-end deliveries;
 * ``repro info`` — show the system inventory: packages, experiments,
   scenarios, and the paper-to-module map.
 
@@ -57,6 +60,24 @@ def build_parser() -> argparse.ArgumentParser:
     demo = subparsers.add_parser("demo", help="run one of the bundled example scenarios")
     demo.add_argument("name", choices=sorted(_EXAMPLES), help="which example to run")
 
+    net_demo = subparsers.add_parser(
+        "net-demo",
+        help="boot a small broker graph on a transport backend, publish, verify deliveries",
+    )
+    net_demo.add_argument(
+        "--backend",
+        choices=("sim", "asyncio"),
+        default="asyncio",
+        help="transport backend: deterministic simulator or real localhost TCP sockets "
+        "(default: asyncio)",
+    )
+    net_demo.add_argument(
+        "--brokers", type=int, default=3, help="brokers in the line topology (default: 3)"
+    )
+    net_demo.add_argument(
+        "--publishes", type=int, default=20, help="notifications to publish (default: 20)"
+    )
+
     subparsers.add_parser("info", help="show the system inventory")
     return parser
 
@@ -90,11 +111,58 @@ def _command_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_net_demo(args: argparse.Namespace) -> int:
+    """Boot brokers on the chosen transport, publish, and verify deliveries.
+
+    On the ``asyncio`` backend this is a real deployment in miniature: every
+    broker and client is a TCP server on localhost, subscriptions and
+    notifications cross actual sockets as length-prefixed wire frames, and
+    the delivered sets are checked against what the filters promise.
+    """
+    from .pubsub.testing import run_line_workload
+
+    if args.brokers < 2:
+        print("net-demo needs at least 2 brokers", file=sys.stderr)
+        return 2
+    if args.publishes < 1:
+        print("net-demo needs at least 1 publish", file=sys.stderr)
+        return 2
+
+    backend = args.backend
+    print(
+        f"net-demo: {args.brokers} brokers in a line on the {backend!r} backend"
+        + (" (localhost TCP sockets, wire-framed messages)" if backend == "asyncio" else
+           " (deterministic discrete-event simulator)")
+    )
+    result = run_line_workload(backend, args.brokers, args.publishes)
+    print(f"published {args.publishes} notifications from B1")
+    for outcome in result.subscribers:
+        latencies = sorted(outcome.latencies)
+        if latencies:
+            p50 = latencies[len(latencies) // 2] * 1000
+            latency_note = f"p50={p50:.2f}ms max={latencies[-1] * 1000:.2f}ms"
+        else:
+            latency_note = "no deliveries"
+        status = "ok" if outcome.ok else "MISMATCH"
+        print(
+            f"  {outcome.name:<10} value>={outcome.threshold:<4} "
+            f"received {outcome.received}/{outcome.expected}  {latency_note}  [{status}]"
+        )
+    if result.mismatches:
+        print(
+            f"net-demo FAILED: {result.mismatches} subscriber(s) missed notifications",
+            file=sys.stderr,
+        )
+        return 1
+    print("deliveries verified: OK")
+    return 0
+
+
 def _command_info() -> int:
     print("repro — mobile publish/subscribe middleware reproduction")
     print()
     print("Packages:")
-    print("  repro.net          discrete-event simulation substrate")
+    print("  repro.net          transport substrates: deterministic simulator + asyncio TCP")
     print("  repro.pubsub       REBECA-style content-based pub/sub")
     print("  repro.core         mobility support (physical, logical, extended logical)")
     print("  repro.mobility     mobility models, workloads, scenarios")
@@ -115,6 +183,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_experiments(args)
     if args.command == "demo":
         return _command_demo(args)
+    if args.command == "net-demo":
+        return _command_net_demo(args)
     if args.command == "info":
         return _command_info()
     parser.print_help()

@@ -49,6 +49,14 @@ class MobilitySystemConfig:
     #: forwarding decisions are identical.  ``None`` (default) keeps whatever
     #: the brokers were built with.
     advertising: Optional[str] = None
+    #: transport backend the deployment expects: "sim" (deterministic
+    #: simulator) or "asyncio" (real localhost sockets).  ``None`` (default)
+    #: accepts whatever the broker network was built with.  The mobility
+    #: layer (replicators, wireless channels) currently requires the
+    #: simulator backend, so :class:`MobilePubSub` rejects anything else —
+    #: run plain pub/sub workloads on asyncio via
+    #: :class:`~repro.pubsub.broker_network.BrokerNetwork` directly.
+    transport: Optional[str] = None
     #: feature switches of the replicator layer
     replicator: ReplicatorConfig = field(default_factory=ReplicatorConfig)
     #: shadow-placement policy: "nlb", "nlb-<k>", "flooding", "none", "markov", or a predictor object
@@ -94,6 +102,7 @@ class MobilePubSub:
         self.network = network
         self.space = space
         self.config = config or MobilitySystemConfig()
+        self._check_transport()
         self.movement_graph = movement_graph or self._default_movement_graph()
         self.predictor = self._build_predictor(self.config.predictor)
         self.replicators: Dict[str, Replicator] = {}
@@ -109,6 +118,28 @@ class MobilePubSub:
         self._build_replicators()
 
     # ------------------------------------------------------------------ build
+    def _check_transport(self) -> None:
+        """Validate the transport knob against the network's actual backend.
+
+        Wireless channels schedule attachment events and replicators rely on
+        deterministic handover interleavings, so the mobility layer only
+        supports the simulator backend today; the knob exists so deployments
+        state their expectation explicitly and fail loudly on a mismatch.
+        """
+        backend = getattr(self.network, "transport", None)
+        actual = backend.name if backend is not None else "sim"
+        expected = self.config.transport
+        if expected is not None and expected != actual:
+            raise ValueError(
+                f"config.transport={expected!r} but the broker network runs on {actual!r}"
+            )
+        if actual != "sim":
+            raise NotImplementedError(
+                "the mobility layer (replicators, wireless channels) requires the "
+                "deterministic simulator backend; run plain pub/sub workloads on "
+                f"{actual!r} through BrokerNetwork directly"
+            )
+
     def _default_movement_graph(self) -> MovementGraph:
         graph = from_location_space(self.space)
         if len(graph.edges()) == 0:

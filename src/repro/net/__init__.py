@@ -11,14 +11,25 @@ from .faults import FaultEvent, FaultInjector, FaultLog
 from .link import Link, LinkStats, Network
 from .process import LinkEndpoint, Message, Process
 from .simulator import EventHandle, PeriodicTask, SimulationError, Simulator, drain
+from .transport import (
+    TRANSPORT_NAMES,
+    AsyncioTransport,
+    SimTransport,
+    Transport,
+    TransportError,
+    make_transport,
+)
+from .wire import FrameDecoder, WireError, decode_message, encode_message, frame_message
 from .wireless import CoverageMap, WirelessChannel, WirelessStats
 
 __all__ = [
+    "AsyncioTransport",
     "CoverageMap",
     "FaultEvent",
     "FaultInjector",
     "FaultLog",
     "EventHandle",
+    "FrameDecoder",
     "Link",
     "LinkEndpoint",
     "LinkStats",
@@ -26,9 +37,18 @@ __all__ = [
     "Network",
     "PeriodicTask",
     "Process",
+    "SimTransport",
     "SimulationError",
     "Simulator",
+    "TRANSPORT_NAMES",
+    "Transport",
+    "TransportError",
+    "WireError",
     "WirelessChannel",
     "WirelessStats",
+    "decode_message",
     "drain",
+    "encode_message",
+    "frame_message",
+    "make_transport",
 ]

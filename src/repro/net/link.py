@@ -186,12 +186,25 @@ class Network:
     This is a convenience container used by topology builders and by the
     metric collectors (which need to iterate over all links to sum up
     control-message overhead).
+
+    Links are created through the network's :class:`~repro.net.transport.
+    Transport` backend, so the same registry works on the deterministic
+    simulator (the default — pass a :class:`Simulator` as before) or on real
+    asyncio sockets (pass ``transport=AsyncioTransport()`` or
+    ``transport="asyncio"``).
     """
 
-    def __init__(self, sim: Simulator):
-        self.sim = sim
+    def __init__(self, sim: Optional[Simulator] = None, transport=None):
+        from .transport import make_transport  # local: transport imports Link
+
+        self.transport = make_transport(transport, sim=sim)
         self.processes: Dict[str, Process] = {}
-        self.links: list[Link] = []
+        self.links: list = []
+
+    @property
+    def sim(self):
+        """The backend's clock — the actual :class:`Simulator` on the sim backend."""
+        return self.transport.clock
 
     def add_process(self, process: Process) -> Process:
         if process.name in self.processes:
@@ -202,9 +215,9 @@ class Network:
     def get(self, name: str) -> Process:
         return self.processes[name]
 
-    def connect(self, a: str, b: str, latency: float = 0.001) -> Link:
+    def connect(self, a: str, b: str, latency: float = 0.001):
         """Create (and register) a link between two already-added processes."""
-        link = Link(self.sim, self.processes[a], self.processes[b], latency=latency)
+        link = self.transport.make_link(self.processes[a], self.processes[b], latency=latency)
         self.links.append(link)
         return link
 

@@ -50,8 +50,22 @@ class Message:
         return 16 + _estimate_size(self.payload) + _estimate_size(self.meta)
 
     def copy(self) -> "Message":
-        """Return a shallow copy with a fresh message id (used when forwarding)."""
-        return Message(kind=self.kind, payload=self.payload, sender=self.sender, meta=dict(self.meta))
+        """Return a copy with a fresh message id (used when forwarding).
+
+        ``meta`` is always copied.  A mutable container payload (dict/list)
+        is shallow-copied too, so adding/removing/replacing its *top-level*
+        entries on the forwarded copy cannot corrupt the original in flight
+        (values nested inside those entries remain shared — don't mutate
+        them).  Domain payloads (:class:`~repro.pubsub.notification.
+        Notification`, ``Filter``, ``Subscription``) are immutable by
+        contract and stay shared.
+        """
+        payload = self.payload
+        if isinstance(payload, dict):
+            payload = dict(payload)
+        elif isinstance(payload, list):
+            payload = list(payload)
+        return Message(kind=self.kind, payload=payload, sender=self.sender, meta=dict(self.meta))
 
 
 def _estimate_size(obj: Any) -> int:
@@ -80,7 +94,10 @@ class Process:
     by the process itself.
     """
 
-    def __init__(self, sim: Simulator, name: str):
+    def __init__(self, sim: "Simulator | object", name: str):
+        # ``sim`` is the transport backend's clock: the Simulator itself on
+        # the default backend, an AsyncioClock on real sockets.  Both expose
+        # now/schedule/schedule_at/call_now/run/run_until_idle.
         self.sim = sim
         self.name = name
         self.links: Dict[str, "LinkEndpoint"] = {}

@@ -1,0 +1,665 @@
+"""Pluggable transport backends: deterministic simulator or real sockets.
+
+PRs 1–2 ran the whole pub/sub stack on a single deterministic discrete-event
+simulator.  That was the right substrate for reproducing the paper's
+algorithms, but it hard-wired the *algorithm* (brokers, routing, mobility) to
+the *substrate* (the simulator's event queue).  This module separates the
+two: a :class:`Transport` owns link construction, message movement and time,
+and everything above (``Process.send``/``send_many``, link FIFO semantics,
+connect/disconnect events, latency/bandwidth accounting) goes through it.
+
+Two interchangeable backends:
+
+* :class:`SimTransport` (default) — the existing simulator, behaviour
+  byte-identical to the pre-refactor substrate (enforced by the golden-trace
+  cross-check in ``tests/test_transport.py``, the way the ``matcher=`` and
+  ``advertising=`` knobs are cross-checked).
+* :class:`AsyncioTransport` — every process gets a real asyncio TCP server
+  on localhost; links are pairs of TCP connections carrying length-prefixed
+  wire frames (:mod:`repro.net.wire`).  Per-direction FIFO comes from TCP
+  itself; time is the event loop's monotonic clock.  Runs are *not*
+  deterministic — that is the point: this is the deployment shape of the
+  paper's original REBECA testbed (broker processes talking over sockets).
+
+Both backends expose the same clock surface (``now``/``schedule``/``run``/
+``run_until_idle``), so processes keep their ``self.sim`` attribute and the
+pubsub layer runs unchanged on either substrate.
+
+What each backend guarantees:
+
+===========================  ==========================  ====================
+property                     SimTransport                AsyncioTransport
+===========================  ==========================  ====================
+determinism                  bit-exact, seedable         no (real scheduler)
+per-link FIFO                yes (delivery floors)       yes (TCP streams)
+latency model                exact simulated seconds     ``latency`` is a
+                                                         per-message floor
+real concurrency / sockets   no                          yes (localhost TCP)
+serialization                none (object references)    length-prefixed wire
+                                                         frames per message
+mobility layer support       full                        pub/sub layer only
+===========================  ==========================  ====================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from . import wire
+from .link import Link, LinkStats
+from .process import LinkEndpoint, Message, Process
+from .simulator import SimulationError, Simulator
+
+#: the names accepted by the ``transport=`` knob
+TRANSPORT_NAMES = ("sim", "asyncio")
+
+
+class TransportError(RuntimeError):
+    """Raised when a transport is used incorrectly or fails to settle."""
+
+
+class Transport(ABC):
+    """A substrate that moves messages between processes over links.
+
+    The contract every backend honours:
+
+    * :meth:`make_link` wires a bidirectional FIFO link between two
+      processes and attaches an endpoint on each side (``a.send(b.name, m)``
+      works immediately afterwards);
+    * the returned link exposes the :class:`~repro.net.link.Link` surface —
+      ``up``/``set_up``/``disconnect``/``reconnect``, per-direction
+      :class:`~repro.net.link.LinkStats`, ``total_messages``/``total_bytes``
+      /``messages_of_kind`` and the ``on_drop`` hook;
+    * :attr:`clock` is a Simulator-compatible scheduling surface (``now``,
+      ``schedule``, ``schedule_at``, ``call_now``, ``run``,
+      ``run_until_idle``) that processes receive as their ``sim``.
+    """
+
+    #: backend name, matching the ``transport=`` knob value that builds it
+    name: str = "abstract"
+
+    @property
+    @abstractmethod
+    def clock(self):
+        """The scheduling surface handed to processes as their ``sim``."""
+
+    @abstractmethod
+    def make_link(
+        self,
+        a: Process,
+        b: Process,
+        latency: float = 0.001,
+        deliver_in_flight_on_down: bool = True,
+    ):
+        """Create, attach and return a bidirectional FIFO link between ``a`` and ``b``."""
+
+    @abstractmethod
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the substrate (to ``until`` when given); returns the clock's time."""
+
+    @abstractmethod
+    def run_until_idle(self) -> float:
+        """Run until no traffic or scheduled work remains; returns the clock's time."""
+
+    def close(self) -> None:
+        """Release substrate resources (sockets, event loops).  Idempotent."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+# ------------------------------------------------------------------ simulator
+
+
+class SimTransport(Transport):
+    """The deterministic discrete-event backend (the default).
+
+    A thin shell around :class:`~repro.net.simulator.Simulator` +
+    :class:`~repro.net.link.Link`: link construction, FIFO delivery floors,
+    latency accounting and connect/disconnect all behave exactly as they did
+    before the transport refactor — the golden-trace cross-check test pins
+    the delivered byte sequence to the pre-refactor recording.
+    """
+
+    name = "sim"
+
+    def __init__(self, sim: Optional[Simulator] = None):
+        if sim is not None and not isinstance(sim, Simulator):
+            raise TypeError(
+                f"SimTransport wraps a Simulator, got {type(sim).__name__} "
+                "(did you pass a positional argument into the wrong slot?)"
+            )
+        self.sim = sim if sim is not None else Simulator()
+
+    @property
+    def clock(self) -> Simulator:
+        return self.sim
+
+    def make_link(
+        self,
+        a: Process,
+        b: Process,
+        latency: float = 0.001,
+        deliver_in_flight_on_down: bool = True,
+    ) -> Link:
+        return Link(
+            self.sim, a, b, latency=latency, deliver_in_flight_on_down=deliver_in_flight_on_down
+        )
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)
+
+    def run_until_idle(self) -> float:
+        return self.sim.run_until_idle()
+
+
+# -------------------------------------------------------------------- asyncio
+
+
+class _ClockHandle:
+    """Cancellation handle for :meth:`AsyncioClock.schedule` (EventHandle-shaped)."""
+
+    __slots__ = ("cancelled", "executed", "_timer", "_clock")
+
+    def __init__(self, clock: "AsyncioClock"):
+        self.cancelled = False
+        self.executed = False
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._clock = clock
+
+    def cancel(self) -> None:
+        if self.cancelled or self.executed:
+            return
+        self.cancelled = True
+        if self._timer is not None:
+            self._timer.cancel()
+        self._clock.pending_timers -= 1
+
+
+class AsyncioClock:
+    """Simulator-compatible scheduling surface over a real event loop.
+
+    ``now`` is monotonic wall time since the transport started, so delivery
+    latencies measured against it are real end-to-end latencies.  Scheduled
+    callbacks only fire while the transport is being driven (``run`` /
+    ``run_until_idle``), mirroring how simulator events only fire inside
+    ``Simulator.run``.
+    """
+
+    def __init__(self, transport: "AsyncioTransport"):
+        self._transport = transport
+        self._loop = transport._loop
+        self._t0 = self._loop.time()
+        #: scheduled-but-not-yet-fired callbacks; part of the idle condition
+        self.pending_timers = 0
+
+    @property
+    def now(self) -> float:
+        return self._loop.time() - self._t0
+
+    # ------------------------------------------------------------- scheduling
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any) -> _ClockHandle:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event {delay} seconds in the past")
+        handle = _ClockHandle(self)
+        self.pending_timers += 1
+
+        def fire() -> None:
+            handle.executed = True
+            self.pending_timers -= 1
+            try:
+                callback(*args)
+            except BaseException as exc:
+                # surface the failure through run_until_idle, matching the
+                # simulator backend where a raising event fails the run
+                transport = self._transport
+                if transport._pending_error is None:
+                    transport._pending_error = exc
+
+        handle._timer = self._loop.call_later(delay, fire)
+        return handle
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any) -> _ClockHandle:
+        now = self.now
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, which is before now={now:.6f}"
+            )
+        return self.schedule(time - now, callback, *args)
+
+    def call_now(self, callback: Callable[..., Any], *args: Any) -> _ClockHandle:
+        return self.schedule(0.0, callback, *args)
+
+    # ---------------------------------------------------------------- running
+    def run(self, until: Optional[float] = None) -> float:
+        return self._transport.run(until=until)
+
+    def run_until_idle(self, max_events: int = 0) -> float:
+        return self._transport.run_until_idle()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AsyncioClock(now={self.now:.3f}, pending_timers={self.pending_timers})"
+
+
+class _AsyncioDirectedEndpoint(LinkEndpoint):
+    """The sending side of one direction of an :class:`AsyncioLink`.
+
+    ``transmit`` serializes the message to a length-prefixed wire frame and
+    writes it to this direction's TCP connection; the receiving side's
+    server decodes and dispatches it.  Per-direction FIFO is TCP's.
+    """
+
+    def __init__(self, link: "AsyncioLink", source: Process, target: Process):
+        self.link = link
+        self.source = source
+        self.target = target
+        self.stats = LinkStats()
+        self._writer: Optional[asyncio.StreamWriter] = None
+        #: frames written but not yet handed to the target process; lets the
+        #: transport reconcile its in-flight counter if the connection dies
+        self.undelivered = 0
+
+    def transmit(self, message: Message) -> None:
+        link = self.link
+        if not link.up:
+            self.stats.record_drop()
+            link.on_drop(message, self.source, self.target)
+            return
+        self.stats.record(message)
+        link.transport._send_frames(self, wire.frame_message(message), count=1)
+
+    def transmit_many(self, messages: List[Message]) -> None:
+        if not messages:
+            return
+        link = self.link
+        if not link.up:
+            for message in messages:
+                self.stats.record_drop()
+                link.on_drop(message, self.source, self.target)
+            return
+        burst = bytearray()
+        for message in messages:
+            self.stats.record(message)
+            burst += wire.frame_message(message)
+        link.transport._send_frames(self, bytes(burst), count=len(messages))
+
+
+class AsyncioLink:
+    """A bidirectional link carried by two localhost TCP connections.
+
+    Mirrors the :class:`~repro.net.link.Link` surface.  ``latency`` is
+    honoured as a per-message delivery floor (the receiver sleeps before
+    dispatching), on top of whatever the real sockets add; pass ``0.0`` for
+    raw socket speed.
+    """
+
+    def __init__(
+        self,
+        transport: "AsyncioTransport",
+        link_id: int,
+        a: Process,
+        b: Process,
+        latency: float,
+        deliver_in_flight_on_down: bool,
+    ):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.transport = transport
+        self.link_id = link_id
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.up = True
+        self.deliver_in_flight_on_down = deliver_in_flight_on_down
+        self._a_to_b = _AsyncioDirectedEndpoint(self, a, b)
+        self._b_to_a = _AsyncioDirectedEndpoint(self, b, a)
+
+    async def _open(self) -> None:
+        await self.transport._open_direction(self._a_to_b)
+        await self.transport._open_direction(self._b_to_a)
+        self.a.attach_link(self.b.name, self._a_to_b)
+        self.b.attach_link(self.a.name, self._b_to_a)
+
+    def _endpoint_into(self, target: Process) -> _AsyncioDirectedEndpoint:
+        """The directed endpoint whose traffic arrives at ``target``."""
+        return self._a_to_b if target is self.b else self._b_to_a
+
+    # ------------------------------------------------------------------ state
+    def set_up(self, up: bool) -> None:
+        self.up = up
+
+    def disconnect(self) -> None:
+        """Tear the link down logically; the TCP connections stay for ``reconnect``."""
+        self.up = False
+        self.a.detach_link(self.b.name)
+        self.b.detach_link(self.a.name)
+
+    def reconnect(self) -> None:
+        self.up = True
+        self.a.attach_link(self.b.name, self._a_to_b)
+        self.b.attach_link(self.a.name, self._b_to_a)
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def stats_a_to_b(self) -> LinkStats:
+        return self._a_to_b.stats
+
+    @property
+    def stats_b_to_a(self) -> LinkStats:
+        return self._b_to_a.stats
+
+    def total_messages(self) -> int:
+        return self._a_to_b.stats.messages + self._b_to_a.stats.messages
+
+    def total_bytes(self) -> int:
+        return self._a_to_b.stats.bytes + self._b_to_a.stats.bytes
+
+    def messages_of_kind(self, kind: str) -> int:
+        return self._a_to_b.stats.by_kind.get(kind, 0) + self._b_to_a.stats.by_kind.get(kind, 0)
+
+    # ------------------------------------------------------------------ hooks
+    def on_drop(self, message: Message, source: Process, target: Process) -> None:
+        """Hook invoked when a message is dropped; overridden in tests if needed."""
+
+    def _close_writers(self) -> None:
+        for endpoint in (self._a_to_b, self._b_to_a):
+            if endpoint._writer is not None:
+                endpoint._writer.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "down"
+        return f"AsyncioLink({self.a.name}<->{self.b.name}, {state})"
+
+
+class AsyncioTransport(Transport):
+    """Real asyncio TCP sockets on localhost.
+
+    Every process registered through :meth:`make_link` gets its own TCP
+    server on an ephemeral port; each link direction is a dedicated TCP
+    connection from the sender to the receiver's server, opened with a
+    handshake frame naming the link, then carrying one length-prefixed wire
+    frame per message.
+
+    The stack above stays synchronous: sends buffer onto the socket and the
+    event loop only spins while the transport is *driven*
+    (:meth:`run`/:meth:`run_until_idle`), which keeps the programming model
+    identical to the simulator — build, publish, then run to quiescence.
+    Quiescence is exact, not heuristic: every frame written increments an
+    in-flight counter that is only decremented after the receiving process
+    finished handling the message, so "no in-flight frames and no pending
+    timers" means the system is genuinely idle.
+    """
+
+    name = "asyncio"
+
+    #: default cap on run_until_idle, so a routing bug cannot hang a test run
+    DEFAULT_IDLE_TIMEOUT = 30.0
+
+    def __init__(self, host: str = "127.0.0.1"):
+        self.host = host
+        self._loop = asyncio.new_event_loop()
+        self._clock = AsyncioClock(self)
+        self._processes: Dict[str, Process] = {}
+        self._servers: Dict[str, asyncio.AbstractServer] = {}
+        self._addresses: Dict[str, Tuple[str, int]] = {}
+        self._links: Dict[int, AsyncioLink] = {}
+        self._link_seq = itertools.count(1)
+        self._inflight = 0
+        self._pending_error: Optional[BaseException] = None
+        self._closed = False
+        self.links: List[AsyncioLink] = []
+
+    @property
+    def clock(self) -> AsyncioClock:
+        return self._clock
+
+    # ------------------------------------------------------------------ wiring
+    def make_link(
+        self,
+        a: Process,
+        b: Process,
+        latency: float = 0.001,
+        deliver_in_flight_on_down: bool = True,
+    ) -> AsyncioLink:
+        self._require_open()
+        self._loop.run_until_complete(self._ensure_server(a))
+        self._loop.run_until_complete(self._ensure_server(b))
+        link = AsyncioLink(self, next(self._link_seq), a, b, latency, deliver_in_flight_on_down)
+        self._links[link.link_id] = link
+        self.links.append(link)
+        self._loop.run_until_complete(link._open())
+        return link
+
+    async def _ensure_server(self, process: Process) -> None:
+        if process.name in self._servers:
+            if self._processes[process.name] is not process:
+                raise TransportError(f"duplicate process name {process.name!r} on this transport")
+            return
+        self._processes[process.name] = process
+        server = await asyncio.start_server(
+            lambda reader, writer, _p=process: self._serve_connection(_p, reader, writer),
+            host=self.host,
+            port=0,
+        )
+        self._servers[process.name] = server
+        self._addresses[process.name] = server.sockets[0].getsockname()[:2]
+
+    async def _open_direction(self, endpoint: _AsyncioDirectedEndpoint) -> None:
+        host, port = self._addresses[endpoint.target.name]
+        _reader, writer = await asyncio.open_connection(host, port)
+        handshake = {
+            "link": endpoint.link.link_id,
+            "source": endpoint.source.name,
+            "target": endpoint.target.name,
+        }
+        writer.write(wire.frame(wire.encode_control(handshake)))
+        await writer.drain()
+        endpoint._writer = writer
+
+    # --------------------------------------------------------------- receiving
+    async def _serve_connection(
+        self, process: Process, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = wire.FrameDecoder()
+        link: Optional[AsyncioLink] = None
+        saw_handshake = False
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                # every frame in this read shares one arrival time; latency is
+                # applied as a delivery floor relative to it, so a burst pays
+                # the latency once, not once per message (pipelined, like the
+                # simulator's delivery floors)
+                arrival = self._loop.time()
+                for body in decoder.feed(data):
+                    if not saw_handshake:
+                        handshake = wire.decode_control(body)
+                        if handshake.get("target") != process.name:
+                            raise wire.WireError(
+                                f"handshake for {handshake.get('target')!r} arrived at "
+                                f"{process.name!r}"
+                            )
+                        link = self._links.get(handshake.get("link"))
+                        saw_handshake = True
+                        continue
+                    await self._dispatch(link, process, wire.decode_message(body), arrival)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        except BaseException as exc:  # surface decode/handler bugs to the driver
+            if self._pending_error is None:
+                self._pending_error = exc
+        finally:
+            # frames already written (and counted) towards this now-dead
+            # connection will never be dispatched; forget them so later
+            # run_until_idle calls don't wait out the timeout on a ghost,
+            # and mark the endpoint dead so later transmits fail loudly
+            # instead of re-inflating the counter
+            if link is not None:
+                endpoint = link._endpoint_into(process)
+                self._inflight -= endpoint.undelivered
+                endpoint.undelivered = 0
+                endpoint._writer = None
+            writer.close()
+
+    async def _dispatch(
+        self,
+        link: Optional[AsyncioLink],
+        process: Process,
+        message: Message,
+        arrival: float,
+    ) -> None:
+        endpoint = link._endpoint_into(process) if link is not None else None
+        try:
+            if link is not None:
+                if link.latency > 0:
+                    delay = arrival + link.latency - self._loop.time()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                # the up-check happens at *delivery* time — after the latency
+                # window — exactly like the sim endpoint's _deliver, so a link
+                # torn down while the message was in flight still drops it
+                # when deliver_in_flight_on_down is off
+                if not link.up and not link.deliver_in_flight_on_down:
+                    endpoint.stats.record_drop()
+                    link.on_drop(message, endpoint.source, endpoint.target)
+                    return
+            process.deliver(message)
+        finally:
+            self._inflight -= 1
+            if endpoint is not None:
+                endpoint.undelivered -= 1
+
+    # ----------------------------------------------------------------- sending
+    def _send_frames(self, endpoint: "_AsyncioDirectedEndpoint", data: bytes, count: int) -> None:
+        if endpoint._writer is None:
+            raise TransportError("link endpoint is not connected")
+        self._inflight += count
+        endpoint.undelivered += count
+        endpoint._writer.write(data)
+
+    # ----------------------------------------------------------------- driving
+    def run(self, until: Optional[float] = None) -> float:
+        """Spin the event loop; with ``until``, for that many clock seconds."""
+        self._require_open()
+        if until is None:
+            return self.run_until_idle()
+        delay = until - self._clock.now
+        if delay > 0:
+            self._loop.run_until_complete(asyncio.sleep(delay))
+        self._raise_pending_error()
+        return self._clock.now
+
+    def run_until_idle(self, timeout: Optional[float] = None, settle: float = 0.02) -> float:
+        """Drive the loop until no in-flight frames or pending timers remain.
+
+        ``settle`` is an extra idle-confirmation window after the counters
+        first reach zero, guarding against a connection handler that has
+        read bytes but not yet fed its frame decoder.
+        """
+        self._require_open()
+        timeout = timeout if timeout is not None else self.DEFAULT_IDLE_TIMEOUT
+
+        async def drain() -> None:
+            deadline = self._loop.time() + timeout
+            settled_since: Optional[float] = None
+            while True:
+                if self._pending_error is not None:
+                    return
+                if self._inflight == 0 and self._clock.pending_timers == 0:
+                    now = self._loop.time()
+                    if settled_since is None:
+                        settled_since = now
+                    elif now - settled_since >= settle:
+                        return
+                else:
+                    settled_since = None
+                if self._loop.time() > deadline:
+                    raise TransportError(
+                        f"run_until_idle timed out after {timeout}s "
+                        f"({self._inflight} frames in flight, "
+                        f"{self._clock.pending_timers} timers pending)"
+                    )
+                await asyncio.sleep(0.001)
+
+        self._loop.run_until_complete(drain())
+        self._raise_pending_error()
+        return self._clock.now
+
+    def _raise_pending_error(self) -> None:
+        if self._pending_error is not None:
+            error, self._pending_error = self._pending_error, None
+            raise error
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise TransportError("transport is closed")
+
+    # ----------------------------------------------------------------- closing
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+
+        async def shutdown() -> None:
+            for link in self._links.values():
+                link._close_writers()
+            for server in self._servers.values():
+                server.close()
+            for server in self._servers.values():
+                await server.wait_closed()
+            current = asyncio.current_task()
+            tasks = [t for t in asyncio.all_tasks() if t is not current and not t.done()]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+        self._loop.run_until_complete(shutdown())
+        self._loop.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"{len(self._processes)} processes"
+        return f"AsyncioTransport({state})"
+
+
+# -------------------------------------------------------------------- factory
+
+TransportSpec = Union[None, str, Simulator, Transport]
+
+
+def make_transport(spec: TransportSpec = None, sim: Optional[Simulator] = None) -> Transport:
+    """Resolve the ``transport=`` knob into a backend instance.
+
+    Accepts a backend name (``"sim"``/``"asyncio"``), an existing
+    :class:`Transport`, a bare :class:`Simulator` (wrapped in
+    :class:`SimTransport`), or ``None`` (simulator default).  ``sim`` is the
+    simulator to wrap when the spec resolves to the sim backend.
+    """
+    if isinstance(spec, Transport):
+        if sim is not None and not (isinstance(spec, SimTransport) and spec.sim is sim):
+            # silently dropping the caller's Simulator would leave them
+            # driving a clock nothing listens to — fail loudly instead
+            raise ValueError(
+                "got both a Simulator and a Transport with its own clock; "
+                "pass one or the other (or SimTransport(sim) wrapping that simulator)"
+            )
+        return spec
+    if isinstance(spec, Simulator):
+        return SimTransport(spec)
+    if spec is None or spec == "sim":
+        return SimTransport(sim)
+    if spec == "asyncio":
+        if sim is not None:
+            raise ValueError("the asyncio backend does not take a Simulator")
+        return AsyncioTransport()
+    raise ValueError(f"unknown transport {spec!r}; available: {TRANSPORT_NAMES}")

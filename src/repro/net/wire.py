@@ -1,0 +1,310 @@
+"""Wire serialization for the asyncio transport backend.
+
+The deterministic simulator hands :class:`~repro.net.process.Message` objects
+between processes as plain Python references; real sockets need bytes.  This
+module is the codec between the two worlds: every message the pub/sub layer
+exchanges — ``publish``/``notify`` carrying a
+:class:`~repro.pubsub.notification.Notification`, ``subscribe`` carrying a
+:class:`~repro.pubsub.subscription.Subscription`, ``unsubscribe``/``detach``
+control payloads carrying :class:`~repro.pubsub.filters.Filter` objects — can
+be encoded to a length-prefixed frame and decoded back to an equal object.
+
+Design notes
+------------
+* **Framing** is a 4-byte big-endian length prefix followed by the body
+  (:func:`frame`/:class:`FrameDecoder`), the standard way to delimit messages
+  on a TCP stream.
+* **Encoding** is tagged JSON: domain objects become ``{"__t__": tag, ...}``
+  dictionaries, containers recurse, and the final body is emitted with sorted
+  keys and no whitespace so that *the same message always encodes to the same
+  bytes*.  That determinism is what the ``SimTransport`` cross-check tests
+  hash.
+* Non-finite floats (``Range`` uses ``±inf`` bounds) rely on Python's JSON
+  ``Infinity`` extension, which is symmetric between ``dumps`` and ``loads``.
+* The codec is deliberately closed: encoding an object it does not know about
+  raises :class:`WireError` instead of silently pickling arbitrary state.
+  (``pickle`` would accept everything but turn every broker into a remote
+  code execution endpoint; a closed codec is the safe default for sockets.)
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterator, List, Tuple
+
+from .process import Message
+
+_LENGTH = struct.Struct(">I")
+
+#: frames larger than this are rejected as corrupt (16 MiB)
+MAX_FRAME_SIZE = 16 * 1024 * 1024
+
+_TAG = "__t__"
+
+
+class WireError(ValueError):
+    """Raised when a value cannot be encoded, or a frame cannot be decoded."""
+
+
+# --------------------------------------------------------------------- values
+
+
+def _encode_value(obj: Any) -> Any:
+    """Transform ``obj`` into a JSON-serialisable structure with type tags."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [_encode_value(item) for item in obj]
+    if isinstance(obj, tuple):
+        return {_TAG: "tuple", "items": [_encode_value(item) for item in obj]}
+    if isinstance(obj, (set, frozenset)):
+        # distinct tags so mutability round-trips: a receiver must see the
+        # same type the sim backend would have handed over by reference
+        tag = "frozenset" if isinstance(obj, frozenset) else "set"
+        items = sorted((_encode_value(item) for item in obj), key=repr)
+        return {_TAG: tag, "items": items}
+    if isinstance(obj, dict):
+        if any(not isinstance(key, str) for key in obj):
+            raise WireError(f"only string dict keys are encodable, got {obj!r}")
+        if _TAG in obj:
+            raise WireError(f"dict key {_TAG!r} is reserved for the codec")
+        return {key: _encode_value(value) for key, value in obj.items()}
+
+    # domain objects — imported lazily to keep net/ free of a pubsub dependency
+    from ..pubsub.filters import Constraint, Filter
+    from ..pubsub.notification import Notification
+    from ..pubsub.subscription import Subscription
+
+    if isinstance(obj, Notification):
+        return {
+            _TAG: "notification",
+            # through _encode_value so non-string keys raise WireError
+            # instead of being silently stringified by json.dumps
+            "attrs": _encode_value(obj.attributes),
+            "id": obj.notification_id,
+            "published_at": obj.published_at,
+            "publisher": obj.publisher,
+        }
+    if isinstance(obj, Filter):
+        return {
+            _TAG: "filter",
+            "constraints": [_encode_constraint(c) for c in obj.constraints],
+        }
+    if isinstance(obj, Constraint):
+        return _encode_constraint(obj)
+    if isinstance(obj, Subscription):
+        if obj.template is not None:
+            raise WireError(
+                "subscriptions carrying an unbound location template are not "
+                "wire-encodable; bind the template before shipping it"
+            )
+        return {
+            _TAG: "subscription",
+            "sub_id": obj.sub_id,
+            "filter": _encode_value(obj.filter),
+            "subscriber": obj.subscriber,
+            "location_dependent": obj.location_dependent,
+            "meta": _encode_value(obj.meta),
+        }
+    if isinstance(obj, Message):
+        return _encode_message_value(obj)
+    raise WireError(f"cannot encode {type(obj).__name__} value {obj!r}")
+
+
+def _encode_constraint(constraint: Any) -> Dict[str, Any]:
+    from ..pubsub import filters as f
+
+    if isinstance(constraint, f.Exists):
+        return {_TAG: "c:exists", "attr": constraint.attribute}
+    if isinstance(constraint, f.Equals):
+        return {_TAG: "c:eq", "attr": constraint.attribute, "value": _encode_value(constraint.value)}
+    if isinstance(constraint, f.NotEquals):
+        return {_TAG: "c:ne", "attr": constraint.attribute, "value": _encode_value(constraint.value)}
+    if isinstance(constraint, f.InSet):
+        values = sorted((_encode_value(v) for v in constraint.values), key=repr)
+        return {_TAG: "c:in", "attr": constraint.attribute, "values": values}
+    if isinstance(constraint, f.Range):
+        return {
+            _TAG: "c:range",
+            "attr": constraint.attribute,
+            "low": constraint.low,
+            "high": constraint.high,
+            "include_low": constraint.include_low,
+            "include_high": constraint.include_high,
+        }
+    if isinstance(constraint, f.Prefix):
+        return {_TAG: "c:prefix", "attr": constraint.attribute, "prefix": constraint.prefix}
+    raise WireError(f"cannot encode constraint type {type(constraint).__name__}")
+
+
+def _encode_message_value(message: Message) -> Dict[str, Any]:
+    return {
+        _TAG: "message",
+        "kind": message.kind,
+        "payload": _encode_value(message.payload),
+        "sender": message.sender,
+        "msg_id": message.msg_id,
+        # through _encode_value so non-string meta keys raise WireError
+        "meta": _encode_value(message.meta),
+    }
+
+
+def _decode_value(obj: Any) -> Any:
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [_decode_value(item) for item in obj]
+    if not isinstance(obj, dict):  # pragma: no cover - json only yields the above
+        raise WireError(f"unexpected decoded value {obj!r}")
+    tag = obj.get(_TAG)
+    if tag is None:
+        return {key: _decode_value(value) for key, value in obj.items()}
+    if tag == "tuple":
+        return tuple(_decode_value(item) for item in obj["items"])
+    if tag == "set":
+        return set(_decode_value(item) for item in obj["items"])
+    if tag == "frozenset":
+        return frozenset(_decode_value(item) for item in obj["items"])
+
+    from ..pubsub import filters as f
+    from ..pubsub.notification import Notification
+    from ..pubsub.subscription import Subscription
+
+    if tag == "notification":
+        return Notification(
+            {k: _decode_value(v) for k, v in obj["attrs"].items()},
+            published_at=obj["published_at"],
+            publisher=obj["publisher"],
+            notification_id=obj["id"],
+        )
+    if tag == "filter":
+        return f.Filter(_decode_value(c) for c in obj["constraints"])
+    if tag == "subscription":
+        return Subscription(
+            sub_id=obj["sub_id"],
+            filter=_decode_value(obj["filter"]),
+            subscriber=obj["subscriber"],
+            location_dependent=obj["location_dependent"],
+            meta={k: _decode_value(v) for k, v in obj["meta"].items()},
+        )
+    if tag == "message":
+        return Message(
+            kind=obj["kind"],
+            payload=_decode_value(obj["payload"]),
+            sender=obj["sender"],
+            msg_id=obj["msg_id"],
+            meta={k: _decode_value(v) for k, v in obj["meta"].items()},
+        )
+    if tag == "c:exists":
+        return f.Exists(obj["attr"])
+    if tag == "c:eq":
+        return f.Equals(obj["attr"], _decode_value(obj["value"]))
+    if tag == "c:ne":
+        return f.NotEquals(obj["attr"], _decode_value(obj["value"]))
+    if tag == "c:in":
+        return f.InSet(obj["attr"], (_decode_value(v) for v in obj["values"]))
+    if tag == "c:range":
+        return f.Range(
+            obj["attr"],
+            low=obj["low"],
+            high=obj["high"],
+            include_low=obj["include_low"],
+            include_high=obj["include_high"],
+        )
+    if tag == "c:prefix":
+        return f.Prefix(obj["attr"], obj["prefix"])
+    raise WireError(f"unknown wire tag {tag!r}")
+
+
+# ------------------------------------------------------------------- messages
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize a message to its canonical (deterministic) byte body."""
+    body = _encode_message_value(message)
+    return json.dumps(body, sort_keys=True, separators=(",", ":"), allow_nan=True).encode("utf-8")
+
+
+def decode_message(data: bytes) -> Message:
+    """Parse a byte body produced by :func:`encode_message`."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed wire body: {exc}") from exc
+    decoded = _decode_value(obj)
+    if not isinstance(decoded, Message):
+        raise WireError(f"wire body is not a message: {decoded!r}")
+    return decoded
+
+
+def encode_control(obj: Any) -> bytes:
+    """Serialize a non-message control payload (handshakes, diagnostics)."""
+    return json.dumps(_encode_value(obj), sort_keys=True, separators=(",", ":"), allow_nan=True).encode("utf-8")
+
+
+def decode_control(data: bytes) -> Any:
+    try:
+        return _decode_value(json.loads(data.decode("utf-8")))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"malformed control body: {exc}") from exc
+
+
+# -------------------------------------------------------------------- framing
+
+
+def frame(body: bytes) -> bytes:
+    """Wrap a body in the 4-byte big-endian length prefix."""
+    if len(body) > MAX_FRAME_SIZE:
+        raise WireError(f"frame body of {len(body)} bytes exceeds MAX_FRAME_SIZE")
+    return _LENGTH.pack(len(body)) + body
+
+
+def frame_message(message: Message) -> bytes:
+    """Encode and frame a message in one step (the sender hot path)."""
+    return frame(encode_message(message))
+
+
+class FrameDecoder:
+    """Incremental splitter of a TCP byte stream into frame bodies.
+
+    Feed arbitrary chunks in the order they arrive; complete bodies come out
+    in order.  Partial frames are buffered until their remainder shows up.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Add received bytes; return every frame body completed by them."""
+        self._buffer.extend(data)
+        bodies: List[bytes] = []
+        buffer = self._buffer
+        while True:
+            if len(buffer) < _LENGTH.size:
+                break
+            (length,) = _LENGTH.unpack_from(buffer)
+            if length > MAX_FRAME_SIZE:
+                raise WireError(f"incoming frame of {length} bytes exceeds MAX_FRAME_SIZE")
+            end = _LENGTH.size + length
+            if len(buffer) < end:
+                break
+            bodies.append(bytes(buffer[_LENGTH.size:end]))
+            del buffer[:end]
+        return bodies
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)
+
+
+def iter_frames(data: bytes) -> Iterator[bytes]:
+    """Split a complete byte string into frame bodies (test/diagnostic helper)."""
+    decoder = FrameDecoder()
+    for body in decoder.feed(data):
+        yield body
+    if decoder.pending_bytes:
+        raise WireError(f"{decoder.pending_bytes} trailing bytes after the last frame")

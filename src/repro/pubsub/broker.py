@@ -36,7 +36,11 @@ class Broker(Process):
     Parameters
     ----------
     sim:
-        The discrete-event simulator.
+        The transport backend's clock: the discrete-event
+        :class:`~repro.net.simulator.Simulator` on the default ``"sim"``
+        backend, or an :class:`~repro.net.transport.AsyncioClock` when the
+        broker runs on real sockets.  Brokers only read time and never
+        schedule, so the same routing logic runs unchanged on either.
     name:
         Unique broker name (e.g. ``"B1"``).
     routing:
@@ -64,7 +68,7 @@ class Broker(Process):
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: "Simulator | object",
         name: str,
         routing: str = "simple",
         matcher: str = "indexed",

@@ -26,22 +26,33 @@ class TopologyError(ValueError):
 
 
 class BrokerNetwork:
-    """A set of brokers connected in an acyclic graph, plus attached clients."""
+    """A set of brokers connected in an acyclic graph, plus attached clients.
+
+    The ``transport`` knob selects the substrate the brokers run on:
+    ``"sim"`` / ``None`` (default) is the deterministic discrete-event
+    simulator (pass ``sim`` as before, or let one be created); ``"asyncio"``
+    (or a :class:`~repro.net.transport.Transport` instance) runs every
+    broker and client on real localhost TCP sockets with wire-serialized
+    messages.  The pub/sub behaviour is identical on both backends; see
+    :mod:`repro.net.transport` for the guarantees each one makes.
+    """
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Optional[Simulator] = None,
         routing: str = "simple",
         link_latency: float = 0.001,
         matcher: str = "indexed",
         advertising: str = "incremental",
+        transport=None,
     ):
-        self.sim = sim
         self.routing = routing
         self.link_latency = link_latency
         self.matcher = matcher
         self.advertising = advertising
-        self.network = Network(sim)
+        self.network = Network(sim=sim, transport=transport)
+        self.transport = self.network.transport
+        self.sim = self.network.sim
         self.brokers: Dict[str, Broker] = {}
         self.clients: Dict[str, Client] = {}
         self._broker_edges: List[Tuple[str, str]] = []
@@ -172,19 +183,28 @@ class BrokerNetwork:
         return sum(broker.routing_table_size() for broker in self.brokers.values())
 
     def run(self, until: Optional[float] = None) -> float:
-        """Convenience passthrough to the simulator."""
+        """Convenience passthrough to the transport's clock."""
         return self.sim.run(until=until)
+
+    def run_until_idle(self) -> float:
+        """Drive the substrate until no traffic or scheduled work remains."""
+        return self.transport.run_until_idle()
+
+    def close(self) -> None:
+        """Release substrate resources (a no-op on the simulator backend)."""
+        self.transport.close()
 
 
 # ----------------------------------------------------------------- topologies
 
 
-def line_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
+def line_topology(sim: Optional[Simulator] = None, n_brokers: int = 2, routing: str = "simple",
                   link_latency: float = 0.001, prefix: str = "B",
-                  matcher: str = "indexed", advertising: str = "incremental") -> BrokerNetwork:
+                  matcher: str = "indexed", advertising: str = "incremental",
+                  transport=None) -> BrokerNetwork:
     """Brokers connected in a chain: B1 - B2 - ... - Bn."""
     net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising)
+                        advertising=advertising, transport=transport)
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
         net.add_broker(name)
@@ -194,12 +214,13 @@ def line_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
     return net
 
 
-def star_topology(sim: Simulator, n_leaves: int, routing: str = "simple",
+def star_topology(sim: Optional[Simulator] = None, n_leaves: int = 2, routing: str = "simple",
                   link_latency: float = 0.001, prefix: str = "B",
-                  matcher: str = "indexed", advertising: str = "incremental") -> BrokerNetwork:
+                  matcher: str = "indexed", advertising: str = "incremental",
+                  transport=None) -> BrokerNetwork:
     """One hub broker connected to ``n_leaves`` border brokers."""
     net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising)
+                        advertising=advertising, transport=transport)
     hub = net.add_broker(f"{prefix}0")
     for i in range(n_leaves):
         leaf = net.add_broker(f"{prefix}{i + 1}")
@@ -208,14 +229,16 @@ def star_topology(sim: Simulator, n_leaves: int, routing: str = "simple",
     return net
 
 
-def balanced_tree_topology(sim: Simulator, branching: int, depth: int, routing: str = "simple",
+def balanced_tree_topology(sim: Optional[Simulator] = None, branching: int = 2, depth: int = 1,
+                           routing: str = "simple",
                            link_latency: float = 0.001, prefix: str = "B",
-                           matcher: str = "indexed", advertising: str = "incremental") -> BrokerNetwork:
+                           matcher: str = "indexed", advertising: str = "incremental",
+                           transport=None) -> BrokerNetwork:
     """A balanced tree of brokers with the given branching factor and depth."""
     if branching < 1 or depth < 0:
         raise ValueError("branching must be >= 1 and depth >= 0")
     net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising)
+                        advertising=advertising, transport=transport)
     counter = 0
 
     def make(depth_left: int, parent: Optional[str]) -> None:
@@ -234,13 +257,14 @@ def balanced_tree_topology(sim: Simulator, branching: int, depth: int, routing: 
     return net
 
 
-def random_tree_topology(sim: Simulator, n_brokers: int, routing: str = "simple",
+def random_tree_topology(sim: Optional[Simulator] = None, n_brokers: int = 2, routing: str = "simple",
                          link_latency: float = 0.001, seed: int = 0, prefix: str = "B",
-                         matcher: str = "indexed", advertising: str = "incremental") -> BrokerNetwork:
+                         matcher: str = "indexed", advertising: str = "incremental",
+                         transport=None) -> BrokerNetwork:
     """A uniformly random tree over ``n_brokers`` brokers (random attachment)."""
     rng = random.Random(seed)
     net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising)
+                        advertising=advertising, transport=transport)
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
         net.add_broker(name)
@@ -251,10 +275,11 @@ def random_tree_topology(sim: Simulator, n_brokers: int, routing: str = "simple"
     return net
 
 
-def grid_border_topology(sim: Simulator, rows: int, cols: int, routing: str = "simple",
+def grid_border_topology(sim: Optional[Simulator] = None, rows: int = 1, cols: int = 2,
+                         routing: str = "simple",
                          link_latency: float = 0.001, prefix: str = "B",
-                         matcher: str = "indexed",
-                         advertising: str = "incremental") -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
+                         matcher: str = "indexed", advertising: str = "incremental",
+                         transport=None) -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
     """A broker per grid cell, connected as a spanning tree (row backbones joined by the first column).
 
     Returns the network and a mapping from ``(row, col)`` cells to broker
@@ -263,7 +288,7 @@ def grid_border_topology(sim: Simulator, rows: int, cols: int, routing: str = "s
     stays an acyclic tree as the paper requires.
     """
     net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising)
+                        advertising=advertising, transport=transport)
     cells: Dict[Tuple[int, int], str] = {}
     for r in range(rows):
         for c in range(cols):

@@ -90,6 +90,7 @@ class _LinkAdverts:
         "key_count",
         "rep",
         "by_attrs",
+        "ordered",
         "constraint_count",
         "constraint_rep",
         "total",
@@ -100,6 +101,8 @@ class _LinkAdverts:
         self.key_count: Dict[Tuple, int] = {}
         self.rep: Dict[Tuple, Filter] = {}
         self.by_attrs: Dict[frozenset, Dict[Tuple, Filter]] = {}
+        # lazily sorted per-bucket probe order (see ordered_bucket)
+        self.ordered: Dict[frozenset, List[Filter]] = {}
         self.constraint_count: Dict[Tuple, int] = {}
         self.constraint_rep: Dict[Tuple, Constraint] = {}
         self.total = 0
@@ -119,6 +122,7 @@ class _LinkAdverts:
                 if bucket is None:
                     bucket = self.by_attrs[filter.attribute_set] = {}
                 bucket[key] = filter
+                self.ordered.pop(filter.attribute_set, None)
             for ckey, constraint in {c.key(): c for c in filter.constraints}.items():
                 ccount = self.constraint_count.get(ckey, 0)
                 self.constraint_count[ckey] = ccount + 1
@@ -140,6 +144,7 @@ class _LinkAdverts:
                 del self.rep[key]
                 bucket = self.by_attrs[filter.attribute_set]
                 del bucket[key]
+                self.ordered.pop(filter.attribute_set, None)
                 if not bucket:
                     del self.by_attrs[filter.attribute_set]
             for ckey in {c.key() for c in filter.constraints}:
@@ -152,6 +157,26 @@ class _LinkAdverts:
 
     def empty(self) -> bool:
         return not self.subs
+
+    def ordered_bucket(self, attrs: frozenset) -> List[Filter]:
+        """The bucket's distinct filters, cheapest ``covers()`` probe first.
+
+        Representatives are ordered by ascending constraint count: a filter
+        with fewer constraints is both cheaper to evaluate (``covers`` loops
+        over the coverer's constraints) and more likely to succeed (fewer
+        conjuncts — broader filter), so probing cheapest-first front-loads
+        the early exits.  The sort is computed lazily and cached until the
+        bucket's membership changes.
+        """
+        cached = self.ordered.get(attrs)
+        if cached is None:
+            bucket = self.by_attrs.get(attrs)
+            if not bucket:
+                return []
+            cached = self.ordered[attrs] = sorted(
+                bucket.values(), key=lambda filter: len(filter.constraints)
+            )
+        return cached
 
     def merged_filter(self) -> Filter:
         """The constraint intersection of the advertised multiset.
@@ -229,10 +254,12 @@ class _ForwardedFilterIndex:
             if self.covers_cached(state.rep[key], filter):
                 return True
         attrs = filter.attribute_set
-        for bucket_attrs, bucket in state.by_attrs.items():
+        for bucket_attrs in state.by_attrs:
             if not bucket_attrs <= attrs:
                 continue
-            for rep in bucket.values():
+            # cheapest-first probe order: fewest-constraint reps are cheaper
+            # to test and more likely to cover, so they go first
+            for rep in state.ordered_bucket(bucket_attrs):
                 if self.covers_cached(rep, filter):
                     return True
         return False
@@ -296,7 +323,10 @@ class RoutingStrategy:
     def handle_unsubscribe(self, sub_id: str, filter: Filter, from_link: str) -> None:
         """Remove the subscription's entry for ``from_link`` and propagate."""
         self.broker.routing_table.remove(sub_id, link=from_link)
-        forwarded_links = self._forwarded.pop(sub_id, set())
+        # sorted: emission order must not depend on set iteration order, so
+        # runs are reproducible across processes/hash seeds (the golden-trace
+        # transport cross-check hashes the delivered byte sequence)
+        forwarded_links = sorted(self._forwarded.pop(sub_id, set()))
         if self._index is not None:
             for link in forwarded_links:
                 self._index.remove_contribution(sub_id, link)
@@ -388,13 +418,14 @@ class RoutingStrategy:
                 filters.extend(entry.filter for entry in entries)
         return filters
 
-    def _reforward_uncovered(self, removed_filter: Filter, removed_from_links: Set[str]) -> None:
+    def _reforward_uncovered(self, removed_filter: Filter, removed_from_links: Iterable[str]) -> None:
         """After an unsubscription, re-advertise suppressed subscriptions.
 
         A strategy that suppressed forwarding of subscription *T* because the
         removed subscription's filter made it redundant must now forward *T*,
         otherwise upstream brokers would stop routing T's notifications.
         """
+        removed_from_links = list(removed_from_links)  # consumed once per table entry
         if not removed_from_links:
             return
         table = self.broker.routing_table
@@ -402,8 +433,10 @@ class RoutingStrategy:
         # with entries on several links must produce at most one shadow
         # forward per link, but every entry's filter is tried — a later
         # entry's filter may be the one that actually needs re-advertising.
+        # Iteration is sorted so shadow-forward emission order is independent
+        # of set/hash ordering (byte-reproducible runs).
         pending: Dict[Tuple[str, str], List] = {}
-        for sub_id in list(table.subscription_ids()):
+        for sub_id in sorted(table.subscription_ids()):
             forwarded = self._forwarded.get(sub_id, set())
             for entry in table.entries_for_sub(sub_id):
                 for link in removed_from_links:

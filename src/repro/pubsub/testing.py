@@ -1,13 +1,21 @@
-"""Doubles for exercising routing strategies outside a full broker network.
+"""Doubles and shared workloads for exercising the pub/sub stack.
 
-Shared by the equivalence tests (``tests/test_routing_advertising.py``) and
-the subscription-control benchmark (``benchmarks/bench_covering_scale.py``),
-both of which need to drive a strategy directly and compare the control
-messages it emits.
+* :class:`RecordingBroker` / :func:`normalize_merged_ids` — drive a routing
+  strategy outside a full broker network and compare the control messages it
+  emits; shared by the equivalence tests
+  (``tests/test_routing_advertising.py``) and the subscription-control
+  benchmark (``benchmarks/bench_covering_scale.py``).
+* :func:`run_line_workload` — the canonical transport-backend workload (a
+  line of brokers, one progressively-narrower subscriber per broker, one
+  publisher, delivery verification); shared by the ``repro net-demo`` CLI
+  and ``benchmarks/bench_transport.py`` so the demo and the benchmark's
+  integration gate can never diverge.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from .routing_table import RoutingTable
@@ -39,6 +47,119 @@ class RecordingBroker:
 
     def forward_unsubscribe(self, sub_id, filter, link):
         self.log.append(("unsubscribe", link, sub_id, filter.key()))
+
+
+@dataclass
+class SubscriberOutcome:
+    """Per-subscriber result of :func:`run_line_workload`."""
+
+    name: str
+    threshold: int
+    expected: int
+    received: int
+    latencies: List[float]
+
+    @property
+    def ok(self) -> bool:
+        return self.received == self.expected
+
+
+@dataclass
+class LineWorkloadResult:
+    """Outcome of :func:`run_line_workload` on one backend."""
+
+    backend: str
+    brokers: int
+    notifications: int
+    wall_sec: float
+    subscribers: List[SubscriberOutcome]
+
+    @property
+    def delivered(self) -> int:
+        return sum(s.received for s in self.subscribers)
+
+    @property
+    def expected(self) -> int:
+        return sum(s.expected for s in self.subscribers)
+
+    @property
+    def mismatches(self) -> int:
+        return sum(1 for s in self.subscribers if not s.ok)
+
+    def all_latencies(self) -> List[float]:
+        return sorted(l for s in self.subscribers for l in s.latencies)
+
+
+def run_line_workload(
+    backend: str,
+    brokers: int,
+    notifications: int,
+    topic: str = "demo",
+    payload_pad: str = "",
+) -> LineWorkloadResult:
+    """Run the canonical transport workload on ``backend`` and verify it.
+
+    Builds a line of ``brokers`` brokers on the chosen transport, attaches
+    one subscriber per broker with a progressively narrower
+    ``topic == X AND value >= threshold`` filter, publishes ``notifications``
+    values from the first broker, drains to quiescence and reports the
+    per-subscriber delivered counts (with real delivery latencies) against
+    what each filter promises.  The asyncio backend runs at raw socket speed
+    (latency 0); the simulator keeps its default link latency.
+    """
+    from .broker_network import line_topology
+    from .filters import AtLeast, Equals, Filter
+    from .notification import Notification
+
+    net = line_topology(
+        n_brokers=brokers,
+        transport=backend,
+        link_latency=0.0 if backend == "asyncio" else 0.001,
+    )
+    try:
+        subscribers = []
+        for i, broker_name in enumerate(net.broker_names()):
+            threshold = i * max(1, notifications // brokers)
+            client = net.add_client(f"sub@{broker_name}", broker_name)
+            client.subscribe(
+                Filter([Equals("topic", topic), AtLeast("value", threshold)]),
+                sub_id=f"{topic}-{broker_name}",
+            )
+            subscribers.append((client, threshold))
+        net.run_until_idle()
+
+        publisher = net.add_client("publisher", net.broker_names()[0])
+        payloads = [
+            Notification(
+                {"topic": topic, "value": value, **({"pad": payload_pad} if payload_pad else {})}
+            )
+            for value in range(notifications)
+        ]
+        start = time.perf_counter()
+        for payload in payloads:
+            publisher.publish(payload)
+        net.run_until_idle()
+        wall = time.perf_counter() - start
+
+        outcomes = [
+            SubscriberOutcome(
+                name=client.name,
+                threshold=threshold,
+                expected=max(0, notifications - threshold),
+                received=len(client.deliveries),
+                latencies=client.delivery_latencies(),
+            )
+            for client, threshold in subscribers
+        ]
+        return LineWorkloadResult(
+            backend=backend,
+            brokers=brokers,
+            notifications=notifications,
+            wall_sec=wall,
+            subscribers=outcomes,
+        )
+    finally:
+        net.close()
 
 
 def normalize_merged_ids(log):

@@ -45,6 +45,28 @@ class TestCli:
         args = parser.parse_args(["experiments", "E7", "--quick"])
         assert args.command == "experiments" and args.ids == ["E7"] and args.quick
 
+    def test_net_demo_parser_defaults(self):
+        args = build_parser().parse_args(["net-demo"])
+        assert args.command == "net-demo"
+        assert args.backend == "asyncio"
+        assert args.brokers == 3 and args.publishes == 20
+
+    def test_net_demo_on_simulator(self, capsys):
+        assert main(["net-demo", "--backend", "sim", "--brokers", "3", "--publishes", "12"]) == 0
+        output = capsys.readouterr().out
+        assert "deliveries verified: OK" in output
+        assert "'sim' backend" in output
+
+    def test_net_demo_on_asyncio_sockets(self, capsys):
+        assert main(["net-demo", "--backend", "asyncio", "--brokers", "3", "--publishes", "12"]) == 0
+        output = capsys.readouterr().out
+        assert "deliveries verified: OK" in output
+        assert "localhost TCP" in output
+
+    def test_net_demo_rejects_degenerate_sizes(self, capsys):
+        assert main(["net-demo", "--brokers", "1"]) == 2
+        assert main(["net-demo", "--publishes", "0"]) == 2
+
     def test_info_command(self, capsys):
         assert main(["info"]) == 0
         output = capsys.readouterr().out

@@ -11,6 +11,7 @@ from repro.net.process import Message, Process
 from repro.net.simulator import Simulator
 from repro.pubsub.broker_network import line_topology
 from repro.pubsub.filters import Equals, Filter
+from repro.pubsub.notification import Notification
 
 
 class Echo(Process):
@@ -119,3 +120,67 @@ class TestSystemUnderFaults:
         sim.run_until_idle()
         values = [d.notification["value"] for d in client.deliveries]
         assert values == [1, 2]  # publications outside the outage window still flow
+
+
+class TestFaultInjectorDeterminism:
+    """Identical seeds must give bit-identical fault logs and deliveries."""
+
+    @staticmethod
+    def _run_once(seed: int):
+        import random
+
+        rng = random.Random(seed)
+        sim = Simulator()
+        network = line_topology(sim, 4)
+        clients = []
+        for i, broker in enumerate(network.broker_names()):
+            client = network.add_client(f"c{i}", broker)
+            client.subscribe(Filter([Equals("service", "s")]), sub_id=f"d{i}")
+            clients.append(client)
+        sim.run_until_idle()
+
+        injector = FaultInjector(sim, network.network)
+        edges = network.broker_edges()
+        for _ in range(5):
+            a, b = edges[rng.randrange(len(edges))]
+            start = round(rng.uniform(1.0, 20.0), 3)
+            injector.link_outage(a, b, start=start, duration=round(rng.uniform(0.5, 3.0), 3))
+        crash_target = network.broker_names()[rng.randrange(len(network.broker_names()))]
+        injector.crash_for(crash_target, start=round(rng.uniform(1.0, 15.0), 3),
+                           duration=round(rng.uniform(0.5, 2.0), 3))
+
+        publisher = network.add_client("pub", "B2")
+        for i in range(40):
+            at = round(rng.uniform(0.5, 25.0), 3)
+            sim.schedule_at(
+                at,
+                lambda i=i: publisher.publish(
+                    Notification({"service": "s", "seq": i}, notification_id=5000 + i)
+                ),
+            )
+        sim.run_until_idle()
+
+        fault_log = tuple((e.time, e.kind, e.target) for e in injector.log)
+        deliveries = tuple(
+            (client.name, round(d.received_at, 9), d.notification.notification_id)
+            for client in clients
+            for d in client.deliveries
+        )
+        return fault_log, deliveries
+
+    def test_same_seed_reproduces_faults_and_deliveries(self):
+        assert self._run_once(42) == self._run_once(42)
+
+    def test_different_seed_changes_the_schedule(self):
+        log_a, _ = self._run_once(42)
+        log_b, _ = self._run_once(43)
+        assert log_a != log_b
+
+    def test_log_survives_partition_bookkeeping(self):
+        sim = Simulator()
+        network = line_topology(sim, 4)
+        injector = FaultInjector(sim, network.network)
+        affected = injector.partition(["B1", "B2"], ["B3", "B4"], start=1.0, duration=2.0)
+        assert affected == 1  # the single tree edge between the two sides
+        sim.run_until_idle()
+        assert injector.downtime_events() == (1, 0)

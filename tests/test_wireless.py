@@ -121,6 +121,57 @@ class TestMessaging:
         assert not ap1.has_link("device")
 
 
+class TestBatchedSendOverWireless:
+    """Process.send_many / transmit_many across the (lossy) wireless hop."""
+
+    def test_send_many_burst_arrives_in_order_after_latency(self, setup):
+        sim, device, ap1, _ap2, channel = setup
+        channel.attach(ap1)
+        sim.run_until_idle()
+        scheduled_before = sim.events_scheduled
+        device.send_many("ap1", [Message("subscribe", payload=i) for i in range(5)])
+        # the burst is one link event, not five
+        assert sim.events_scheduled == scheduled_before + 1
+        sim.run_until_idle()
+        assert [m.payload for m in ap1.received] == [0, 1, 2, 3, 4]
+        assert channel.link_stats().messages == 5
+
+    def test_send_many_on_lossy_channel_drops_whole_burst(self, setup):
+        sim, device, ap1, _ap2, channel = setup
+        channel.attach(ap1)
+        sim.run_until_idle()
+        # signal loss without detaching: the link object survives but is down
+        channel._link.set_up(False)
+        assert not channel.connected
+        device.send_many("ap1", [Message("subscribe", payload=i) for i in range(3)])
+        sim.run_until_idle()
+        assert ap1.received == []
+        assert channel.link_stats().dropped == 3
+
+    def test_burst_in_flight_during_signal_loss_still_delivered(self, setup):
+        sim, device, ap1, _ap2, channel = setup
+        channel.attach(ap1)
+        sim.run_until_idle()
+        device.send_many("ap1", [Message("subscribe", payload=i) for i in range(3)])
+        channel._link.set_up(False)  # loss after transmission, before arrival
+        sim.run_until_idle()
+        # models buffered TCP segments: in-flight traffic survives the outage
+        assert [m.payload for m in ap1.received] == [0, 1, 2]
+
+    def test_burst_after_recovery_preserves_fifo_with_earlier_traffic(self, setup):
+        sim, device, ap1, _ap2, channel = setup
+        channel.attach(ap1)
+        sim.run_until_idle()
+        device.send("ap1", Message("first"))
+        channel._link.set_up(False)
+        device.send("ap1", Message("lost"))
+        channel._link.set_up(True)
+        device.send_many("ap1", [Message("second"), Message("third")])
+        sim.run_until_idle()
+        assert [m.kind for m in ap1.received] == ["first", "second", "third"]
+        assert channel.link_stats().dropped == 1
+
+
 class TestCoverageMap:
     def test_lookup(self):
         coverage = CoverageMap()
