@@ -10,6 +10,9 @@ without writing code:
 * ``repro net-demo`` — boot a small broker graph on a transport backend
   (real asyncio localhost sockets by default, or the deterministic
   simulator), publish, and verify end-to-end deliveries;
+* ``repro cluster-demo`` — boot one OS process per broker (the
+  multi-process cluster backend with TCP registry discovery), publish, and
+  verify end-to-end deliveries plus child exit codes;
 * ``repro info`` — show the system inventory: packages, experiments,
   scenarios, and the paper-to-module map.
 
@@ -76,6 +79,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     net_demo.add_argument(
         "--publishes", type=int, default=20, help="notifications to publish (default: 20)"
+    )
+
+    cluster_demo = subparsers.add_parser(
+        "cluster-demo",
+        help="boot one OS process per broker, publish through the cluster, verify deliveries",
+    )
+    cluster_demo.add_argument(
+        "--brokers", type=int, default=3, help="broker processes in the line topology (default: 3)"
+    )
+    cluster_demo.add_argument(
+        "--publishes", type=int, default=40, help="notifications to publish (default: 40)"
     )
 
     subparsers.add_parser("info", help="show the system inventory")
@@ -158,6 +172,70 @@ def _command_net_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_cluster_demo(args: argparse.Namespace) -> int:
+    """Boot one OS process per broker, publish, verify, report exit codes.
+
+    Runs the same line workload as ``net-demo``, but on the multi-process
+    ``cluster`` backend: every broker is a spawned child process hosting a
+    TCP server, discovered through the parent's registry.  Exits non-zero
+    if any subscriber misses a notification *or* any broker process failed
+    (crashed mid-run, or exited non-zero at shutdown).
+    """
+    from .pubsub.testing import run_line_workload
+
+    if args.brokers < 2:
+        print("cluster-demo needs at least 2 brokers", file=sys.stderr)
+        return 2
+    if args.publishes < 1:
+        print("cluster-demo needs at least 1 publish", file=sys.stderr)
+        return 2
+
+    print(
+        f"cluster-demo: {args.brokers} broker processes in a line "
+        "(one OS process per broker, TCP registry discovery, wire-framed links)"
+    )
+    captured = {}
+
+    def observer(net):
+        transport = net.transport
+        captured["transport"] = transport
+        pids = transport.broker_pids
+        print("broker processes: " + ", ".join(f"{n}={pid}" for n, pid in sorted(pids.items())))
+
+    result = run_line_workload("cluster", args.brokers, args.publishes, observer=observer)
+    print(f"published {args.publishes} notifications from B1")
+    for outcome in result.subscribers:
+        latencies = sorted(outcome.latencies)
+        if latencies:
+            p50 = latencies[len(latencies) // 2] * 1000
+            latency_note = f"p50={p50:.2f}ms max={latencies[-1] * 1000:.2f}ms"
+        else:
+            latency_note = "no deliveries"
+        status = "ok" if outcome.ok else "MISMATCH"
+        print(
+            f"  {outcome.name:<10} value>={outcome.threshold:<4} "
+            f"received {outcome.received}/{outcome.expected}  {latency_note}  [{status}]"
+        )
+    status = 0
+    transport = captured.get("transport")
+    if transport is not None:
+        for name, code in sorted(transport.exit_codes.items()):
+            print(f"  broker {name:<8} exit code {code}")
+        if transport.failures:
+            print(f"cluster-demo FAILED: broker process failures {transport.failures}",
+                  file=sys.stderr)
+            status = 1
+    if result.mismatches:
+        print(
+            f"cluster-demo FAILED: {result.mismatches} subscriber(s) missed notifications",
+            file=sys.stderr,
+        )
+        status = 1
+    if status == 0:
+        print("deliveries verified across broker processes: OK")
+    return status
+
+
 def _command_info() -> int:
     print("repro — mobile publish/subscribe middleware reproduction")
     print()
@@ -185,6 +263,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_demo(args)
     if args.command == "net-demo":
         return _command_net_demo(args)
+    if args.command == "cluster-demo":
+        return _command_cluster_demo(args)
     if args.command == "info":
         return _command_info()
     parser.print_help()

@@ -50,11 +50,12 @@ class MobilitySystemConfig:
     #: the brokers were built with.
     advertising: Optional[str] = None
     #: transport backend the deployment expects: "sim" (deterministic
-    #: simulator) or "asyncio" (real localhost sockets).  ``None`` (default)
-    #: accepts whatever the broker network was built with.  The mobility
-    #: layer (replicators, wireless channels) currently requires the
-    #: simulator backend, so :class:`MobilePubSub` rejects anything else —
-    #: run plain pub/sub workloads on asyncio via
+    #: simulator), "asyncio" (real localhost sockets) or "cluster" (one OS
+    #: process per broker).  ``None`` (default) accepts whatever the broker
+    #: network was built with.  The mobility layer (replicators, wireless
+    #: channels) currently requires the simulator backend, so
+    #: :class:`MobilePubSub` rejects anything else — run plain pub/sub
+    #: workloads on asyncio/cluster via
     #: :class:`~repro.pubsub.broker_network.BrokerNetwork` directly.
     transport: Optional[str] = None
     #: feature switches of the replicator layer

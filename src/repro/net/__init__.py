@@ -7,9 +7,11 @@ the properties the paper's algorithms rely on: per-link FIFO delivery, known
 latencies and explicit connection awareness.
 """
 
+from .cluster import ClusterError, ClusterTransport, RemoteBroker
 from .faults import FaultEvent, FaultInjector, FaultLog
 from .link import Link, LinkStats, Network
 from .process import LinkEndpoint, Message, Process
+from .registry import RegistryError, RegistryServer
 from .simulator import EventHandle, PeriodicTask, SimulationError, Simulator, drain
 from .transport import (
     TRANSPORT_NAMES,
@@ -24,6 +26,8 @@ from .wireless import CoverageMap, WirelessChannel, WirelessStats
 
 __all__ = [
     "AsyncioTransport",
+    "ClusterError",
+    "ClusterTransport",
     "CoverageMap",
     "FaultEvent",
     "FaultInjector",
@@ -37,6 +41,9 @@ __all__ = [
     "Network",
     "PeriodicTask",
     "Process",
+    "RegistryError",
+    "RegistryServer",
+    "RemoteBroker",
     "SimTransport",
     "SimulationError",
     "Simulator",

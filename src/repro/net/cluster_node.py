@@ -1,0 +1,15 @@
+"""Spawn entry point for broker child processes.
+
+The cluster runner launches children as ``python -m repro.net.cluster_node
+'<json spec>'``.  This shim exists (instead of ``-m repro.net.cluster``)
+because ``repro.net/__init__`` imports :mod:`repro.net.cluster` eagerly, and
+running an already-imported module with ``-m`` makes runpy warn about
+double execution; this module is imported by nothing, so it runs clean.
+"""
+
+import sys
+
+from .cluster import node_main
+
+if __name__ == "__main__":
+    sys.exit(node_main())

@@ -8,7 +8,7 @@ two: a :class:`Transport` owns link construction, message movement and time,
 and everything above (``Process.send``/``send_many``, link FIFO semantics,
 connect/disconnect events, latency/bandwidth accounting) goes through it.
 
-Two interchangeable backends:
+Three interchangeable backends:
 
 * :class:`SimTransport` (default) — the existing simulator, behaviour
   byte-identical to the pre-refactor substrate (enforced by the golden-trace
@@ -20,6 +20,11 @@ Two interchangeable backends:
   itself; time is the event loop's monotonic clock.  Runs are *not*
   deterministic — that is the point: this is the deployment shape of the
   paper's original REBECA testbed (broker processes talking over sockets).
+* :class:`~repro.net.cluster.ClusterTransport` (``transport="cluster"``) —
+  every *broker* runs in its own spawned OS process, discovered through a
+  TCP registry in the parent (:mod:`repro.net.registry`); same wire frames,
+  one duplex TCP connection per link, real multi-core scale-out past the
+  single-process GIL ceiling.
 
 Both backends expose the same clock surface (``now``/``schedule``/``run``/
 ``run_until_idle``), so processes keep their ``self.sim`` attribute and the
@@ -54,7 +59,7 @@ from .process import LinkEndpoint, Message, Process
 from .simulator import SimulationError, Simulator
 
 #: the names accepted by the ``transport=`` knob
-TRANSPORT_NAMES = ("sim", "asyncio")
+TRANSPORT_NAMES = ("sim", "asyncio", "cluster")
 
 
 class TransportError(RuntimeError):
@@ -103,6 +108,24 @@ class Transport(ABC):
     @abstractmethod
     def run_until_idle(self) -> float:
         """Run until no traffic or scheduled work remains; returns the clock's time."""
+
+    def build_broker(
+        self,
+        name: str,
+        routing: str = "simple",
+        matcher: str = "indexed",
+        advertising: str = "incremental",
+    ):
+        """Construct a broker process for this substrate.
+
+        In-process backends return a real :class:`~repro.pubsub.broker.Broker`
+        running on this transport's clock; the multi-process cluster backend
+        overrides this to return a :class:`~repro.net.cluster.RemoteBroker`
+        proxy whose actual broker lives in a spawned child process.
+        """
+        from ..pubsub.broker import Broker  # lazy: net/ stays importable alone
+
+        return Broker(self.clock, name, routing=routing, matcher=matcher, advertising=advertising)
 
     def close(self) -> None:
         """Release substrate resources (sockets, event loops).  Idempotent."""
@@ -662,4 +685,10 @@ def make_transport(spec: TransportSpec = None, sim: Optional[Simulator] = None) 
         if sim is not None:
             raise ValueError("the asyncio backend does not take a Simulator")
         return AsyncioTransport()
+    if spec == "cluster":
+        if sim is not None:
+            raise ValueError("the cluster backend does not take a Simulator")
+        from .cluster import ClusterTransport  # lazy: avoid a subprocess import cycle
+
+        return ClusterTransport()
     raise ValueError(f"unknown transport {spec!r}; available: {TRANSPORT_NAMES}")

@@ -33,8 +33,11 @@ class BrokerNetwork:
     simulator (pass ``sim`` as before, or let one be created); ``"asyncio"``
     (or a :class:`~repro.net.transport.Transport` instance) runs every
     broker and client on real localhost TCP sockets with wire-serialized
-    messages.  The pub/sub behaviour is identical on both backends; see
-    :mod:`repro.net.transport` for the guarantees each one makes.
+    messages; ``"cluster"`` shards the broker graph across spawned OS
+    processes coordinated by a TCP registry (:mod:`repro.net.cluster`) —
+    the cluster boots lazily when the first client attaches, freezing the
+    broker topology.  The pub/sub behaviour is identical on all backends;
+    see :mod:`repro.net.transport` for the guarantees each one makes.
     """
 
     def __init__(
@@ -65,9 +68,14 @@ class BrokerNetwork:
         matcher: Optional[str] = None,
         advertising: Optional[str] = None,
     ) -> Broker:
-        """Create and register a broker process."""
-        broker = Broker(
-            self.sim,
+        """Create and register a broker process.
+
+        The transport decides what a "broker process" is: the in-process
+        backends return a real :class:`~repro.pubsub.broker.Broker`, the
+        ``"cluster"`` backend a :class:`~repro.net.cluster.RemoteBroker`
+        proxy whose broker runs in its own spawned OS process.
+        """
+        broker = self.transport.build_broker(
             name,
             routing=routing or self.routing,
             matcher=matcher or self.matcher,

@@ -96,6 +96,7 @@ def run_line_workload(
     notifications: int,
     topic: str = "demo",
     payload_pad: str = "",
+    observer=None,
 ) -> LineWorkloadResult:
     """Run the canonical transport workload on ``backend`` and verify it.
 
@@ -104,8 +105,9 @@ def run_line_workload(
     ``topic == X AND value >= threshold`` filter, publishes ``notifications``
     values from the first broker, drains to quiescence and reports the
     per-subscriber delivered counts (with real delivery latencies) against
-    what each filter promises.  The asyncio backend runs at raw socket speed
-    (latency 0); the simulator keeps its default link latency.
+    what each filter promises.  The socket backends (``asyncio`` and the
+    multi-process ``cluster``) run at raw socket speed (latency 0); the
+    simulator keeps its default link latency.
     """
     from .broker_network import line_topology
     from .filters import AtLeast, Equals, Filter
@@ -114,7 +116,7 @@ def run_line_workload(
     net = line_topology(
         n_brokers=brokers,
         transport=backend,
-        link_latency=0.0 if backend == "asyncio" else 0.001,
+        link_latency=0.001 if backend == "sim" else 0.0,
     )
     try:
         subscribers = []
@@ -159,7 +161,15 @@ def run_line_workload(
             subscribers=outcomes,
         )
     finally:
-        net.close()
+        # ``observer`` (e.g. the cluster-demo CLI) gets the network just
+        # before teardown, so it can keep a transport reference and inspect
+        # child exit codes after close(); a raising observer must not skip
+        # the close (it would leak broker child processes)
+        try:
+            if observer is not None:
+                observer(net)
+        finally:
+            net.close()
 
 
 def normalize_merged_ids(log):

@@ -175,3 +175,31 @@ class TestFraming:
     def test_trailing_garbage_detected(self):
         with pytest.raises(WireError):
             list(iter_frames(frame(b"ok") + b"\x00\x01"))
+
+    def test_many_frames_on_one_connection_compact_buffer(self):
+        """Regression: a long-lived connection must not pay per-frame slicing.
+
+        Feeds thousands of frames through one decoder — in bursts, split at
+        hostile chunk boundaries — and asserts that every body comes out in
+        order and that the internal buffer only ever retains the partial
+        tail, i.e. consumed frames are compacted away each feed.
+        """
+        decoder = FrameDecoder()
+        bodies = [f"frame-{i}".encode() * (1 + i % 7) for i in range(3000)]
+        stream = b"".join(frame(b) for b in bodies)
+        out = []
+        # bursts of ~100 frames per feed, with a boundary-straddling remainder
+        chunk = 4096
+        for start in range(0, len(stream), chunk):
+            out.extend(decoder.feed(stream[start : start + chunk]))
+            # the buffer holds exactly the bytes of the incomplete tail frame
+            assert len(decoder._buffer) == decoder.pending_bytes
+            assert decoder.pending_bytes < chunk + 4
+        assert out == bodies
+        assert decoder.pending_bytes == 0
+
+    def test_single_feed_burst_returns_all_frames(self):
+        decoder = FrameDecoder()
+        bodies = [b"x" * i for i in range(200)]
+        assert decoder.feed(b"".join(frame(b) for b in bodies)) == bodies
+        assert decoder.pending_bytes == 0
