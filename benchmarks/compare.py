@@ -3,8 +3,10 @@
 Records are matched by ``(sweep, config)``.  Time-like metrics (keys ending
 in ``_us`` or ``_s`` — lower is better) may not grow by more than the
 threshold (default 20%); the ``speedup`` metric may not shrink by more than
-the threshold.  Exit status 1 signals at least one regression, making this
-usable as a CI gate::
+the threshold; metrics ending in ``_count`` are machine-independent
+deterministic outcomes (delivery counts, protocol overhead) and must match
+*exactly*, threshold notwithstanding.  Exit status 1 signals at least one
+regression, making this usable as a CI gate::
 
     PYTHONPATH=src python benchmarks/bench_routing_scale.py -o new.json
     python benchmarks/compare.py BENCH_routing.json new.json
@@ -52,6 +54,11 @@ def compare(old_path: str, new_path: str, threshold: float) -> int:
         for metric, old_value in old_metrics.items():
             new_value = new_metrics.get(metric)
             if not isinstance(old_value, (int, float)) or not isinstance(new_value, (int, float)):
+                continue
+            if metric.endswith("_count"):  # deterministic: exact match required
+                if new_value != old_value:
+                    ratio = new_value / old_value if old_value else float("inf")
+                    regressions.append((key, metric, old_value, new_value, ratio))
                 continue
             if old_value <= 0:
                 continue

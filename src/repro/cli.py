@@ -13,6 +13,9 @@ without writing code:
 * ``repro cluster-demo`` — boot one OS process per broker (the
   multi-process cluster backend with TCP registry discovery), publish, and
   verify end-to-end deliveries plus child exit codes;
+* ``repro mobility-demo`` — run the roaming-handover workload (replicators,
+  shadows, exception mode) on real asyncio sockets AND on the simulator,
+  and verify both backends delivered identical notification multisets;
 * ``repro info`` — show the system inventory: packages, experiments,
   scenarios, and the paper-to-module map.
 
@@ -90,6 +93,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cluster_demo.add_argument(
         "--publishes", type=int, default=40, help="notifications to publish (default: 40)"
+    )
+
+    mobility_demo = subparsers.add_parser(
+        "mobility-demo",
+        help="run the roaming-handover workload on sim + asyncio and cross-check deliveries",
+    )
+    mobility_demo.add_argument(
+        "--backend",
+        choices=("both", "sim", "asyncio"),
+        default="both",
+        help="run on one backend, or on both with a delivered-set cross-check (default: both)",
+    )
+    mobility_demo.add_argument(
+        "--brokers", type=int, default=3, help="brokers in the line topology (default: 3)"
+    )
+    mobility_demo.add_argument(
+        "--publishes", type=int, default=4,
+        help="notifications per location per movement phase (default: 4)",
+    )
+    mobility_demo.add_argument(
+        "--predictor", default="nlb",
+        help='shadow-placement policy: "nlb", "nlb-<k>", "flooding", "none", "markov" (default: nlb)',
     )
 
     subparsers.add_parser("info", help="show the system inventory")
@@ -236,6 +261,65 @@ def _command_cluster_demo(args: argparse.Namespace) -> int:
     return status
 
 
+def _command_mobility_demo(args: argparse.Namespace) -> int:
+    """Run the handover workload per backend and cross-check delivered sets.
+
+    This is the mobility layer's answer to ``net-demo``: mobile clients roam
+    across a line of border brokers with replicators, shadow virtual clients
+    and the exception mode fully engaged.  With ``--backend both`` (the
+    default) the scenario runs on the deterministic simulator and on real
+    asyncio sockets, and exits non-zero unless both backends delivered the
+    exact same ``(notification, replayed)`` multiset to every mobile client.
+    """
+    from .mobility.handover_workload import cross_check_backends
+
+    if args.brokers < 3:
+        print("mobility-demo needs at least 3 brokers", file=sys.stderr)
+        return 2
+    if args.publishes < 1:
+        print("mobility-demo needs at least 1 publish per phase", file=sys.stderr)
+        return 2
+
+    backends = ("sim", "asyncio") if args.backend == "both" else (args.backend,)
+    print(
+        f"mobility-demo: {args.brokers} border brokers + replicators, "
+        f"predictor={args.predictor!r}, backends: {', '.join(backends)}"
+    )
+    try:
+        results, mismatches = cross_check_backends(
+            backends=backends,
+            brokers=args.brokers,
+            publishes_per_phase=args.publishes,
+            predictor=args.predictor,
+        )
+    except ValueError as exc:
+        # e.g. an unknown --predictor spec: a clean usage error, not a traceback
+        print(f"mobility-demo: {exc}", file=sys.stderr)
+        return 2
+    for backend in backends:
+        result = results[backend]
+        latencies = result.all_handover_latencies()
+        p50 = latencies[len(latencies) // 2] * 1000 if latencies else 0.0
+        print(
+            f"  {backend:<8} wall={result.wall_sec:6.2f}s published={result.published:<4} "
+            f"delivered={result.delivered_total():<4} handovers={result.handovers} "
+            f"shadows={result.shadows_created} exception={result.exception_activations} "
+            f"handover-p50={p50:.2f}ms"
+        )
+        for outcome in result.clients:
+            print(
+                f"    {outcome.name:<10} live={outcome.live:<4} replayed={outcome.replayed:<3} "
+                f"duplicates={outcome.duplicates}"
+            )
+    if mismatches:
+        for mismatch in mismatches:
+            print(f"mobility-demo MISMATCH: {mismatch}", file=sys.stderr)
+        return 1
+    if len(backends) > 1:
+        print("delivered multisets identical across backends: OK")
+    return 0
+
+
 def _command_info() -> int:
     print("repro — mobile publish/subscribe middleware reproduction")
     print()
@@ -265,6 +349,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_net_demo(args)
     if args.command == "cluster-demo":
         return _command_cluster_demo(args)
+    if args.command == "mobility-demo":
+        return _command_mobility_demo(args)
     if args.command == "info":
         return _command_info()
     parser.print_help()

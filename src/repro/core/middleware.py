@@ -52,11 +52,11 @@ class MobilitySystemConfig:
     #: transport backend the deployment expects: "sim" (deterministic
     #: simulator), "asyncio" (real localhost sockets) or "cluster" (one OS
     #: process per broker).  ``None`` (default) accepts whatever the broker
-    #: network was built with.  The mobility layer (replicators, wireless
-    #: channels) currently requires the simulator backend, so
-    #: :class:`MobilePubSub` rejects anything else — run plain pub/sub
-    #: workloads on asyncio/cluster via
-    #: :class:`~repro.pubsub.broker_network.BrokerNetwork` directly.
+    #: network was built with.  The mobility layer runs on any backend with
+    #: dynamic (wireless) link support — the simulator and asyncio both
+    #: qualify; "cluster" freezes its broker topology at boot and is
+    #: rejected loudly (run plain pub/sub workloads there via
+    #: :class:`~repro.pubsub.broker_network.BrokerNetwork` directly).
     transport: Optional[str] = None
     #: feature switches of the replicator layer
     replicator: ReplicatorConfig = field(default_factory=ReplicatorConfig)
@@ -73,12 +73,20 @@ class MobilitySystemConfig:
 
 
 class MobilePubSub:
-    """A complete mobile publish/subscribe deployment on the simulator.
+    """A complete mobile publish/subscribe deployment.
+
+    Runs on any transport backend with dynamic link support: the
+    deterministic simulator (the default, and the substrate the experiments
+    use) or real asyncio sockets (``transport="asyncio"`` networks), where
+    every wireless attach opens actual TCP connections and the whole
+    replicated-handover protocol crosses the wire as encoded frames.
 
     Parameters
     ----------
     sim:
-        The discrete-event simulator everything runs on.
+        The clock everything runs on — the discrete-event simulator on the
+        default backend, the transport's clock otherwise.  Pass ``None`` to
+        use the network's own clock (``network.sim``).
     network:
         The (already built, validated) acyclic broker network.
     space:
@@ -93,13 +101,13 @@ class MobilePubSub:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Optional[Simulator],
         network: BrokerNetwork,
         space: LocationSpace,
         movement_graph: Optional[MovementGraph] = None,
         config: Optional[MobilitySystemConfig] = None,
     ):
-        self.sim = sim
+        self.sim = sim if sim is not None else network.sim
         self.network = network
         self.space = space
         self.config = config or MobilitySystemConfig()
@@ -122,10 +130,12 @@ class MobilePubSub:
     def _check_transport(self) -> None:
         """Validate the transport knob against the network's actual backend.
 
-        Wireless channels schedule attachment events and replicators rely on
-        deterministic handover interleavings, so the mobility layer only
-        supports the simulator backend today; the knob exists so deployments
-        state their expectation explicitly and fail loudly on a mismatch.
+        The knob exists so deployments state their expectation explicitly
+        and fail loudly on a mismatch.  Beyond the name check, the backend
+        must support *dynamic links* (``Transport.supports_mobility``):
+        wireless channels open and tear down links while the substrate runs,
+        which the simulator and asyncio backends provide but the
+        frozen-topology cluster backend does not.
         """
         backend = getattr(self.network, "transport", None)
         actual = backend.name if backend is not None else "sim"
@@ -134,11 +144,11 @@ class MobilePubSub:
             raise ValueError(
                 f"config.transport={expected!r} but the broker network runs on {actual!r}"
             )
-        if actual != "sim":
+        if backend is not None and not getattr(backend, "supports_mobility", False):
             raise NotImplementedError(
-                "the mobility layer (replicators, wireless channels) requires the "
-                "deterministic simulator backend; run plain pub/sub workloads on "
-                f"{actual!r} through BrokerNetwork directly"
+                "the mobility layer (replicators, wireless channels) needs dynamic "
+                f"link support, which the {actual!r} backend does not provide; run "
+                f"plain pub/sub workloads on {actual!r} through BrokerNetwork directly"
             )
 
     def _default_movement_graph(self) -> MovementGraph:
@@ -201,6 +211,7 @@ class MobilePubSub:
             reissue_on_attach=reissue_on_attach,
             wireless_latency=self.config.wireless_latency,
             connect_latency=self.config.connect_latency,
+            transport=getattr(self.network, "transport", None),
         )
         self.mobile_clients[name] = client
         self.network.add_process(client)
@@ -321,3 +332,7 @@ class MobilePubSub:
 
     def run_until_idle(self) -> float:
         return self.sim.run_until_idle()
+
+    def close(self) -> None:
+        """Release the substrate's resources (sockets on real backends).  Idempotent."""
+        self.network.close()

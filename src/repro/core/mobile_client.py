@@ -86,6 +86,11 @@ class MobileClient(Process):
     wireless_latency / connect_latency:
         Parameters of the wireless access link (see
         :class:`~repro.net.wireless.WirelessChannel`).
+    transport:
+        The substrate carrying the wireless hop.  ``None`` (legacy default)
+        builds simulator links directly from ``sim``; a mobility-capable
+        :class:`~repro.net.transport.Transport` carries each attachment on
+        that backend (real TCP connections on asyncio).
     """
 
     def __init__(
@@ -95,11 +100,13 @@ class MobileClient(Process):
         reissue_on_attach: bool = True,
         wireless_latency: float = 0.002,
         connect_latency: float = 0.05,
+        transport=None,
     ):
         super().__init__(sim, name)
         self.reissue_on_attach = reissue_on_attach
         self.channel = WirelessChannel(
-            sim, self, latency=wireless_latency, connect_latency=connect_latency
+            sim, self, latency=wireless_latency, connect_latency=connect_latency,
+            transport=transport,
         )
         self.channel.on_connect(self._on_channel_connect)
         self.templates: Dict[str, LocationDependentFilter] = {}

@@ -6,6 +6,12 @@ what gets published where (workloads), how movement is recorded and analysed
 examples (office floor, car route, cellular grid).
 """
 
+from .handover_workload import (
+    HandoverWorkloadResult,
+    MobileOutcome,
+    cross_check_backends,
+    run_handover_workload,
+)
 from .models import (
     MarkovMobility,
     MobilityDriver,
@@ -47,7 +53,11 @@ from .workload import (
 __all__ = [
     "BurstyLocationPublisher",
     "GlobalServicePublisher",
+    "HandoverWorkloadResult",
     "LocationServicePublishers",
+    "MobileOutcome",
+    "cross_check_backends",
+    "run_handover_workload",
     "MarkovMobility",
     "MobilityDriver",
     "MobilityModel",

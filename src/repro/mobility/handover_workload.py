@@ -1,0 +1,259 @@
+"""A deterministic roaming workload runnable on any mobility-capable backend.
+
+The cross-check strategy of the transport layer (``tests/test_transport.py``)
+extended to the mobility stack: one fixed handover scenario — attach, walk
+across the broker line, power off, reappear far away — is executed on both
+the deterministic simulator and the asyncio socket backend, and the delivered
+``(notification_id, replayed)`` multisets per mobile client must be
+*identical*.  Every phase is driven to exact quiescence before the next one
+starts, so the only thing allowed to differ between backends is the physical
+interleaving of traffic, never the outcome.
+
+The same workload is the substance of ``repro mobility-demo`` and of
+``benchmarks/bench_mobility_transport.py``, which records handover latency
+and delivery counts per backend.
+
+Scenario shape (``brokers`` = N, locations ``l1..lN`` on a broker line with
+chain adjacency, so the NLB movement graph is the line itself):
+
+* ``m-walk`` subscribes a location-dependent ``news`` template plus a plain
+  (location-independent) ``alerts`` filter, attaches at ``l1`` and walks
+  ``l1 → l2 → … → lN``; at the end it powers off, misses a publish phase,
+  and powers back on at ``l1`` — a non-neighbouring broker, exercising the
+  paper's Sect. 4 exception mode through the handover request/reply protocol.
+* ``m-commute`` subscribes the ``news`` template only and commutes between
+  ``l2`` and ``l1`` (the home/office pattern), so some broker always hosts
+  both an active virtual client and a buffering shadow.
+* after every movement step each location's wired publisher emits
+  ``publishes_per_phase`` pinned-id ``news`` notifications and one global
+  ``alerts`` notification is published from the last broker.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..core.location import LocationSpace
+from ..core.location_filter import MYLOC, location_dependent
+from ..core.middleware import MobilePubSub, MobilitySystemConfig
+from ..core.mobile_client import MobileClient
+from ..pubsub.broker_network import line_topology
+from ..pubsub.filters import Equals, Filter
+from ..pubsub.notification import Notification
+
+
+@dataclass
+class MobileOutcome:
+    """What one mobile client experienced during the workload."""
+
+    name: str
+    #: sorted ``(notification_id, replayed)`` pairs, one per delivery —
+    #: the multiset compared across backends
+    deliveries: List[Tuple[int, bool]]
+    live: int
+    replayed: int
+    duplicates: int
+    #: per-attachment setup latency (attach request -> welcome), in the
+    #: backend's clock seconds — real seconds on asyncio
+    handover_latencies_sec: List[float]
+
+
+@dataclass
+class HandoverWorkloadResult:
+    """Outcome of one backend run of the shared handover workload."""
+
+    backend: str
+    brokers: int
+    publishes_per_phase: int
+    clients: List[MobileOutcome] = field(default_factory=list)
+    wall_sec: float = 0.0
+    published: int = 0
+    handovers: int = 0
+    exception_activations: int = 0
+    shadows_created: int = 0
+    control_messages: int = 0
+    subscription_messages: int = 0
+
+    def delivered_map(self) -> Dict[str, List[Tuple[int, bool]]]:
+        """Per-client delivered multisets, the cross-backend invariant."""
+        return {outcome.name: outcome.deliveries for outcome in self.clients}
+
+    def all_handover_latencies(self) -> List[float]:
+        return sorted(
+            latency for outcome in self.clients for latency in outcome.handover_latencies_sec
+        )
+
+    def delivered_total(self) -> int:
+        return sum(len(outcome.deliveries) for outcome in self.clients)
+
+
+def _line_space(brokers: int) -> LocationSpace:
+    locations = [f"l{i + 1}" for i in range(brokers)]
+    adjacency = {
+        location: [n for n in (locations[i - 1] if i else None, locations[i + 1] if i + 1 < brokers else None) if n]
+        for i, location in enumerate(locations)
+    }
+    return LocationSpace(
+        {location: f"B{i + 1}" for i, location in enumerate(locations)}, adjacency=adjacency
+    )
+
+
+def run_handover_workload(
+    backend: str = "sim",
+    brokers: int = 3,
+    publishes_per_phase: int = 4,
+    predictor: str = "nlb",
+    connect_latency: float = 0.01,
+) -> HandoverWorkloadResult:
+    """Run the fixed handover scenario on one backend and collect the outcome.
+
+    Every notification id is pinned explicitly, every phase runs to exact
+    quiescence, and every mutation of the subscription state happens between
+    phases — which is what makes the delivered multisets backend-invariant.
+    """
+    if brokers < 3:
+        raise ValueError("the handover workload needs at least 3 brokers")
+    locations = [f"l{i + 1}" for i in range(brokers)]
+    sim_backend = backend == "sim"
+    net = line_topology(
+        n_brokers=brokers,
+        transport=backend,
+        # the simulator keeps its default simulated latencies; on sockets the
+        # per-message latency floor would be real waiting, so run at raw speed
+        link_latency=0.001 if sim_backend else 0.0,
+    )
+    config = MobilitySystemConfig(
+        predictor=predictor,
+        connect_latency=connect_latency,
+        wireless_latency=0.002 if sim_backend else 0.0,
+    )
+    space = _line_space(brokers)
+    started = time.perf_counter()
+    system = MobilePubSub(None, net, space, config=config)
+    result = HandoverWorkloadResult(
+        backend=backend, brokers=brokers, publishes_per_phase=publishes_per_phase
+    )
+    try:
+        walker = system.add_mobile_client("m-walk")
+        walker.subscribe_location(
+            location_dependent({"service": "news", "location": MYLOC}), template_id="t-walk"
+        )
+        walker.subscribe(Filter([Equals("service", "alerts")]), sub_id="p-alerts")
+        commuter = system.add_mobile_client("m-commute")
+        commuter.subscribe_location(
+            location_dependent({"service": "news", "location": MYLOC}), template_id="t-commute"
+        )
+        publishers = {
+            location: system.add_publisher(f"pub-{location}", location) for location in locations
+        }
+        alert_publisher = publishers[locations[-1]]
+
+        next_id = [10_000]
+
+        def publish_phase() -> None:
+            for location in locations:
+                for seq in range(publishes_per_phase):
+                    next_id[0] += 1
+                    publishers[location].publish(
+                        Notification(
+                            {"service": "news", "location": location, "seq": seq},
+                            notification_id=next_id[0],
+                        )
+                    )
+            next_id[0] += 1
+            alert_publisher.publish(
+                Notification({"service": "alerts", "level": 1}, notification_id=next_id[0])
+            )
+            result.published += brokers * publishes_per_phase + 1
+            system.run_until_idle()
+
+        system.attach(walker, location=locations[0])
+        system.attach(commuter, location=locations[1])
+        system.run_until_idle()
+        publish_phase()
+
+        # the walk: one handover per line segment, the commuter toggling
+        # between its two home locations on every step
+        commuter_home = [locations[1], locations[0]]
+        for step, target in enumerate(locations[1:]):
+            system.move(walker, target)
+            system.move(commuter, commuter_home[(step + 1) % 2])
+            system.run_until_idle()
+            publish_phase()
+
+        # power off at the end of the line, miss a phase, reappear at l1 —
+        # a non-neighbouring broker, so this goes through the Sect. 4
+        # exception mode (handover request/reply salvages the buffered past)
+        system.power_off(walker)
+        system.run_until_idle()
+        publish_phase()
+        system.power_on(walker, locations[0])
+        system.run_until_idle()
+        publish_phase()
+
+        result.wall_sec = time.perf_counter() - started
+        for client in (walker, commuter):
+            result.clients.append(_outcome_of(client))
+        result.handovers = sum(r.stats.handovers for r in system.replicators.values())
+        result.exception_activations = sum(
+            r.stats.exception_activations for r in system.replicators.values()
+        )
+        result.shadows_created = sum(r.stats.shadows_created for r in system.replicators.values())
+        result.control_messages = system.control_message_count()
+        result.subscription_messages = system.subscription_message_count()
+        return result
+    finally:
+        system.close()
+
+
+def _outcome_of(client: MobileClient) -> MobileOutcome:
+    deliveries = sorted(
+        (delivery.notification.notification_id, delivery.replayed)
+        for delivery in client.deliveries
+    )
+    return MobileOutcome(
+        name=client.name,
+        deliveries=deliveries,
+        live=len(client.live_deliveries()),
+        replayed=len(client.replayed_deliveries()),
+        duplicates=client.duplicate_deliveries(),
+        handover_latencies_sec=client.setup_latencies(),
+    )
+
+
+def cross_check_backends(
+    backends: Tuple[str, ...] = ("sim", "asyncio"),
+    brokers: int = 3,
+    publishes_per_phase: int = 4,
+    predictor: str = "nlb",
+) -> Tuple[Dict[str, HandoverWorkloadResult], List[str]]:
+    """Run the workload on every backend and diff the delivered multisets.
+
+    Returns the per-backend results and a (hopefully empty) list of
+    mismatch descriptions; the first backend is the reference.
+    """
+    results = {
+        backend: run_handover_workload(
+            backend, brokers=brokers, publishes_per_phase=publishes_per_phase, predictor=predictor
+        )
+        for backend in backends
+    }
+    reference_name = backends[0]
+    reference = results[reference_name].delivered_map()
+    mismatches: List[str] = []
+    for backend in backends[1:]:
+        candidate = results[backend].delivered_map()
+        for client_name in sorted(set(reference) | set(candidate)):
+            expected = reference.get(client_name, [])
+            actual = candidate.get(client_name, [])
+            if expected != actual:
+                missing = [pair for pair in expected if pair not in actual]
+                extra = [pair for pair in actual if pair not in expected]
+                mismatches.append(
+                    f"{client_name}: {backend} delivered {len(actual)} vs "
+                    f"{reference_name} {len(expected)} "
+                    f"(missing {missing[:5]}, extra {extra[:5]})"
+                )
+    return results, mismatches

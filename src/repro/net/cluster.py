@@ -534,6 +534,9 @@ class ClusterTransport(Transport):
     """
 
     name = "cluster"
+    # the broker topology freezes at boot, so the dynamically attaching
+    # wireless links of the mobility layer cannot be hosted here
+    supports_mobility = False
 
     DEFAULT_BOOT_TIMEOUT = 60.0
     DEFAULT_IDLE_TIMEOUT = 120.0

@@ -151,6 +151,23 @@ class Link:
         self.a.attach_link(self.b.name, self._a_to_b)
         self.b.attach_link(self.a.name, self._b_to_a)
 
+    def abandon(self) -> None:
+        """Tear down a link that lost an attachment race.
+
+        Unlike :meth:`disconnect`, which detaches whatever endpoint is
+        registered under the peer names, this removes only entries this
+        link actually owns — a rival link established concurrently between
+        the same processes may have re-registered those names, and its
+        attachment must survive.
+        """
+        self.up = False
+        for owner, peer_name, endpoint in (
+            (self.a, self.b.name, self._a_to_b),
+            (self.b, self.a.name, self._b_to_a),
+        ):
+            if owner.links.get(peer_name) is endpoint:
+                owner.detach_link(peer_name)
+
     # ------------------------------------------------------------------ stats
     @property
     def stats_a_to_b(self) -> LinkStats:

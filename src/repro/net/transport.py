@@ -42,8 +42,14 @@ latency model                exact simulated seconds     ``latency`` is a
 real concurrency / sockets   no                          yes (localhost TCP)
 serialization                none (object references)    length-prefixed wire
                                                          frames per message
-mobility layer support       full                        pub/sub layer only
+mobility layer support       full                        full (wireless links
+                                                         are real TCP conns
+                                                         opened per attach)
 ===========================  ==========================  ====================
+
+(The cluster backend supports the plain pub/sub layer only; its broker
+topology freezes at boot, so it cannot host the dynamically attaching
+wireless links the mobility layer needs.)
 """
 
 from __future__ import annotations
@@ -86,6 +92,12 @@ class Transport(ABC):
     #: backend name, matching the ``transport=`` knob value that builds it
     name: str = "abstract"
 
+    #: whether the mobility layer (wireless channels, replicators) can run on
+    #: this backend.  Requires dynamic link support: links that can be opened
+    #: and torn down *while the substrate is running* (a wireless attach),
+    #: not just wired up at build time.  Backends opt in explicitly.
+    supports_mobility: bool = False
+
     @property
     @abstractmethod
     def clock(self):
@@ -108,6 +120,42 @@ class Transport(ABC):
     @abstractmethod
     def run_until_idle(self) -> float:
         """Run until no traffic or scheduled work remains; returns the clock's time."""
+
+    # ------------------------------------------------------------ dynamic links
+    def open_dynamic_link(
+        self,
+        a: Process,
+        b: Process,
+        latency: float = 0.001,
+        deliver_in_flight_on_down: bool = True,
+        ready: Optional[Callable[[Any], None]] = None,
+    ):
+        """Create a link *at runtime* — the substrate half of a wireless attach.
+
+        Unlike :meth:`make_link` (build-time wiring), this may be called from
+        inside a running substrate (a scheduled attach completion), so
+        backends with asynchronous connection setup establish the link in the
+        background.  ``ready(link)`` fires exactly once, after both endpoints
+        are attached and traffic can flow; until then the link must not be
+        used.  The returned link is the same object ``ready`` receives.
+
+        The default implementation is synchronous (correct for the
+        simulator): create the link and call ``ready`` immediately.
+        """
+        link = self.make_link(
+            a, b, latency=latency, deliver_in_flight_on_down=deliver_in_flight_on_down
+        )
+        if ready is not None:
+            ready(link)
+        return link
+
+    def close_dynamic_link(self, link) -> None:
+        """Release substrate resources of a dynamically opened link.
+
+        Called after the link has been logically disconnected (a wireless
+        detach).  A no-op on the simulator; socket backends close the TCP
+        connections the link held so handover churn does not leak sockets.
+        """
 
     def build_broker(
         self,
@@ -154,6 +202,7 @@ class SimTransport(Transport):
     """
 
     name = "sim"
+    supports_mobility = True
 
     def __init__(self, sim: Optional[Simulator] = None):
         if sim is not None and not isinstance(sim, Simulator):
@@ -371,6 +420,20 @@ class AsyncioLink:
         self.a.attach_link(self.b.name, self._a_to_b)
         self.b.attach_link(self.a.name, self._b_to_a)
 
+    def abandon(self) -> None:
+        """Tear down a link that lost an attachment race (see Link.abandon).
+
+        Only routing entries this link actually owns are removed; a rival
+        link's endpoints registered under the same peer names survive.
+        """
+        self.up = False
+        for owner, peer_name, endpoint in (
+            (self.a, self.b.name, self._a_to_b),
+            (self.b, self.a.name, self._b_to_a),
+        ):
+            if owner.links.get(peer_name) is endpoint:
+                owner.detach_link(peer_name)
+
     # ------------------------------------------------------------------ stats
     @property
     def stats_a_to_b(self) -> LinkStats:
@@ -423,6 +486,7 @@ class AsyncioTransport(Transport):
     """
 
     name = "asyncio"
+    supports_mobility = True
 
     #: default cap on run_until_idle, so a routing bug cannot hang a test run
     DEFAULT_IDLE_TIMEOUT = 30.0
@@ -461,6 +525,65 @@ class AsyncioTransport(Transport):
         self.links.append(link)
         self._loop.run_until_complete(link._open())
         return link
+
+    def open_dynamic_link(
+        self,
+        a: Process,
+        b: Process,
+        latency: float = 0.001,
+        deliver_in_flight_on_down: bool = True,
+        ready: Optional[Callable[[Any], None]] = None,
+    ) -> AsyncioLink:
+        """Establish a link while the event loop may already be running.
+
+        A wireless attach completes inside a scheduled callback, i.e. inside
+        the running loop, where :meth:`make_link`'s ``run_until_complete``
+        would deadlock.  The connection setup (server registration, TCP
+        connects, handshakes) therefore runs as a task; it is counted as
+        pending work so ``run_until_idle`` cannot declare the system idle
+        while an attachment is still being established.  ``ready(link)``
+        fires from inside the loop once traffic can flow.
+        """
+        self._require_open()
+        link = AsyncioLink(self, next(self._link_seq), a, b, latency, deliver_in_flight_on_down)
+        self._links[link.link_id] = link
+        self.links.append(link)
+
+        async def establish() -> None:
+            try:
+                await self._ensure_server(a)
+                await self._ensure_server(b)
+                await link._open()
+                if ready is not None:
+                    ready(link)
+            except BaseException as exc:
+                if self._pending_error is None:
+                    self._pending_error = exc
+            finally:
+                self._clock.pending_timers -= 1
+
+        self._clock.pending_timers += 1
+        if self._loop.is_running():
+            self._loop.create_task(establish())
+        else:
+            self._loop.run_until_complete(establish())
+        return link
+
+    def close_dynamic_link(self, link: AsyncioLink) -> None:
+        """Close the TCP connections of a torn-down wireless link.
+
+        Graceful: bytes already written (a ``client_leaving`` farewell) are
+        flushed to the receiver before the connection closes.  The link is
+        also dropped from the transport's registry so a long roaming run
+        (thousands of attach/detach cycles) does not accumulate dead links;
+        connections already serving the link hold their own reference.
+        """
+        link._close_writers()
+        self._links.pop(link.link_id, None)
+        try:
+            self.links.remove(link)
+        except ValueError:
+            pass
 
     async def _ensure_server(self, process: Process) -> None:
         if process.name in self._servers:

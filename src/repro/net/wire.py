@@ -8,6 +8,13 @@ exchanges — ``publish``/``notify`` carrying a
 :class:`~repro.pubsub.subscription.Subscription`, ``unsubscribe``/``detach``
 control payloads carrying :class:`~repro.pubsub.filters.Filter` objects — can
 be encoded to a length-prefixed frame and decoded back to an equal object.
+The mobility layer's replicated-handover protocol is covered too:
+``client_hello`` profiles, location templates
+(:class:`~repro.core.location_filter.LocationDependentFilter`, including ones
+riding on a location-dependent :class:`Subscription`), the
+``handover_request``/``handover_reply`` relocation exchange and replicator
+stats snapshots all round-trip, which is what lets ``MobilePubSub`` run on
+real sockets.
 
 Design notes
 ------------
@@ -94,12 +101,7 @@ def _encode_value(obj: Any) -> Any:
     if isinstance(obj, Constraint):
         return _encode_constraint(obj)
     if isinstance(obj, Subscription):
-        if obj.template is not None:
-            raise WireError(
-                "subscriptions carrying an unbound location template are not "
-                "wire-encodable; bind the template before shipping it"
-            )
-        return {
+        encoded = {
             _TAG: "subscription",
             "sub_id": obj.sub_id,
             "filter": _encode_value(obj.filter),
@@ -107,8 +109,60 @@ def _encode_value(obj: Any) -> Any:
             "location_dependent": obj.location_dependent,
             "meta": _encode_value(obj.meta),
         }
+        if obj.template is not None:
+            # location templates are wire-encodable payloads; anything else
+            # (an opaque application object) still fails the closed-set check
+            # below.  The key is omitted when absent so plain subscriptions
+            # keep their pre-mobility byte encoding (golden traces).
+            encoded["template"] = _encode_value(obj.template)
+        return encoded
     if isinstance(obj, Message):
         return _encode_message_value(obj)
+
+    # mobility-layer control payloads (the replicated-handover protocol)
+    from ..core.location_filter import LocationDependentFilter
+    from ..core.physical_mobility import HandoverReply, HandoverRequest
+    from ..core.replicator import ClientHello, ReplicatorStats
+
+    if isinstance(obj, LocationDependentFilter):
+        return {
+            _TAG: "loctemplate",
+            "static": _encode_value(obj.static_filter),
+            "attr": obj.location_attribute,
+            "scope": obj.scope,
+        }
+    if isinstance(obj, ClientHello):
+        return {
+            _TAG: "client_hello",
+            "client_id": obj.client_id,
+            "location": obj.location,
+            "templates": _encode_value(obj.templates),
+            "plain_filters": _encode_value(obj.plain_filters),
+            "previous_broker": obj.previous_broker,
+            "reissue": obj.reissue,
+        }
+    if isinstance(obj, HandoverRequest):
+        return {
+            _TAG: "handover_request",
+            "client_id": obj.client_id,
+            "new_broker": obj.new_broker,
+            "new_replicator": obj.new_replicator,
+        }
+    if isinstance(obj, HandoverReply):
+        return {
+            _TAG: "handover_reply",
+            "client_id": obj.client_id,
+            "old_broker": obj.old_broker,
+            "plain_filters": _encode_value(obj.plain_filters),
+            "buffered_plain": [_encode_value(n) for n in obj.buffered_plain],
+            "buffered_location": [_encode_value(n) for n in obj.buffered_location],
+            "found": obj.found,
+        }
+    if isinstance(obj, ReplicatorStats):
+        from dataclasses import fields
+
+        stats = {f.name: getattr(obj, f.name) for f in fields(obj)}
+        return {_TAG: "replicator_stats", "stats": stats}
     raise WireError(f"cannot encode {type(obj).__name__} value {obj!r}")
 
 
@@ -181,11 +235,13 @@ def _decode_value(obj: Any) -> Any:
     if tag == "filter":
         return f.Filter(_decode_value(c) for c in obj["constraints"])
     if tag == "subscription":
+        template = obj.get("template")
         return Subscription(
             sub_id=obj["sub_id"],
             filter=_decode_value(obj["filter"]),
             subscriber=obj["subscriber"],
             location_dependent=obj["location_dependent"],
+            template=_decode_value(template) if template is not None else None,
             meta={k: _decode_value(v) for k, v in obj["meta"].items()},
         )
     if tag == "message":
@@ -214,16 +270,92 @@ def _decode_value(obj: Any) -> Any:
         )
     if tag == "c:prefix":
         return f.Prefix(obj["attr"], obj["prefix"])
+
+    from ..core.location_filter import LocationDependentFilter
+    from ..core.physical_mobility import HandoverReply, HandoverRequest
+    from ..core.replicator import ClientHello, ReplicatorStats
+
+    if tag == "loctemplate":
+        return LocationDependentFilter(
+            static_filter=_decode_value(obj["static"]),
+            location_attribute=obj["attr"],
+            scope=obj["scope"],
+        )
+    if tag == "client_hello":
+        return ClientHello(
+            client_id=obj["client_id"],
+            location=obj["location"],
+            templates={k: _decode_value(v) for k, v in obj["templates"].items()},
+            plain_filters={k: _decode_value(v) for k, v in obj["plain_filters"].items()},
+            previous_broker=obj["previous_broker"],
+            reissue=obj["reissue"],
+        )
+    if tag == "handover_request":
+        return HandoverRequest(
+            client_id=obj["client_id"],
+            new_broker=obj["new_broker"],
+            new_replicator=obj["new_replicator"],
+        )
+    if tag == "handover_reply":
+        return HandoverReply(
+            client_id=obj["client_id"],
+            old_broker=obj["old_broker"],
+            plain_filters={k: _decode_value(v) for k, v in obj["plain_filters"].items()},
+            buffered_plain=[_decode_value(n) for n in obj["buffered_plain"]],
+            buffered_location=[_decode_value(n) for n in obj["buffered_location"]],
+            found=obj["found"],
+        )
+    if tag == "replicator_stats":
+        return ReplicatorStats(**obj["stats"])
     raise WireError(f"unknown wire tag {tag!r}")
 
 
 # ------------------------------------------------------------------- messages
 
 
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=True)
+
+
+def _notification_fragment(notification: Any) -> str:
+    """The canonical JSON fragment of a notification, cached on the object.
+
+    Notifications are immutable, so the fragment computed on the first
+    encode (or primed by :func:`decode_message`) is reused by every later
+    encode of the same object — a broker fanning one notification out to K
+    links serializes the payload once instead of K times, and a hop that
+    just decoded a payload never re-walks it to forward it.
+    ``Message.copy()`` shares the (immutable) payload, so forwarded copies
+    share the cache; any mutation path (``with_attributes``/``stamped``)
+    builds a new object with an empty cache.
+    """
+    fragment = notification._wire
+    if fragment is None:
+        fragment = _dumps(_encode_value(notification))
+        notification._wire = fragment
+    return fragment
+
+
 def encode_message(message: Message) -> bytes:
     """Serialize a message to its canonical (deterministic) byte body."""
-    body = _encode_message_value(message)
-    return json.dumps(body, sort_keys=True, separators=(",", ":"), allow_nan=True).encode("utf-8")
+    payload = message.payload
+    from ..pubsub.notification import Notification  # lazy, as in _encode_value
+
+    if isinstance(payload, Notification):
+        # splice the cached payload fragment into the canonical body; key
+        # order of the hand-built JSON matches sort_keys=True
+        # ("__t__" < "kind" < "meta" < "msg_id" < "payload" < "sender")
+        head = _dumps(
+            {
+                _TAG: "message",
+                "kind": message.kind,
+                "meta": _encode_value(message.meta),
+                "msg_id": message.msg_id,
+            }
+        )
+        tail = _dumps({"sender": message.sender})
+        return f'{head[:-1]},"payload":{_notification_fragment(payload)},{tail[1:]}'.encode("utf-8")
+    return _dumps(_encode_message_value(message)).encode("utf-8")
 
 
 def decode_message(data: bytes) -> Message:
@@ -235,12 +367,20 @@ def decode_message(data: bytes) -> Message:
     decoded = _decode_value(obj)
     if not isinstance(decoded, Message):
         raise WireError(f"wire body is not a message: {decoded!r}")
+    payload = decoded.payload
+    from ..pubsub.notification import Notification
+
+    if isinstance(payload, Notification) and payload._wire is None:
+        # prime the fragment cache from the parsed body: re-dumping the
+        # already-canonical payload sub-structure is byte-identical to the
+        # sender's encoding, so the next hop forwards without re-encoding
+        payload._wire = _dumps(obj["payload"])
     return decoded
 
 
 def encode_control(obj: Any) -> bytes:
     """Serialize a non-message control payload (handshakes, diagnostics)."""
-    return json.dumps(_encode_value(obj), sort_keys=True, separators=(",", ":"), allow_nan=True).encode("utf-8")
+    return _dumps(_encode_value(obj)).encode("utf-8")
 
 
 def decode_control(data: bytes) -> Any:

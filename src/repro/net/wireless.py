@@ -47,6 +47,17 @@ class WirelessChannel:
     whatever access-point process it is currently attached to.  Attachment is
     driven externally by the mobility model / scenario code through
     :meth:`attach`, :meth:`detach` and :meth:`handover`.
+
+    The substrate carrying that link is pluggable.  The channel needs exactly
+    two operations from it — *open a link at runtime* and *release a
+    torn-down link* — which is the small dynamic-link interface every
+    mobility-capable :class:`~repro.net.transport.Transport` exposes
+    (``open_dynamic_link``/``close_dynamic_link``).  Pass ``transport=`` to
+    carry the wireless hop on that backend: on the simulator attachment is
+    the classic synchronous :class:`~repro.net.link.Link`, on asyncio each
+    attach opens real TCP connections and each detach closes them.  With no
+    transport (the legacy construction) the channel builds simulator links
+    directly from ``sim``.
     """
 
     def __init__(
@@ -55,13 +66,23 @@ class WirelessChannel:
         device: Process,
         latency: float = 0.002,
         connect_latency: float = 0.05,
+        transport=None,
     ):
         self.sim = sim
         self.device = device
         self.latency = latency
         self.connect_latency = connect_latency
+        self.transport = transport
+        if transport is not None and not getattr(transport, "supports_mobility", False):
+            raise ValueError(
+                f"transport {getattr(transport, 'name', transport)!r} does not support "
+                "dynamic (wireless) links"
+            )
         self.current_ap: Optional[Process] = None
         self._link: Optional[Link] = None
+        # bumped by every attach and detach; a pending attach completion
+        # carrying a stale epoch was superseded and must not take effect
+        self._attach_epoch = 0
         self.stats = WirelessStats()
         self._on_connect: List[ConnectionCallback] = []
         self._on_disconnect: List[ConnectionCallback] = []
@@ -90,31 +111,80 @@ class WirelessChannel:
 
         The attachment completes after ``connect_latency`` simulated seconds
         (associating with the access point, establishing the virtual-client
-        connection), unless ``immediate`` is set.
+        connection), unless ``immediate`` is set.  A later :meth:`attach` or
+        :meth:`detach` issued while the attachment is still completing
+        supersedes it: the latest instruction wins, a pending attach never
+        resurrects a connection the device has since been told to drop.
         """
         if self.current_ap is not None:
             self.detach()
+        self._attach_epoch += 1
         delay = 0.0 if immediate else self.connect_latency
-        self.sim.schedule(delay, self._complete_attach, access_point)
+        self.sim.schedule(delay, self._complete_attach, access_point, self._attach_epoch)
 
-    def _complete_attach(self, access_point: Process) -> None:
-        if self.current_ap is not None:
-            # A concurrent attach won; ignore the stale completion.
+    def _complete_attach(self, access_point: Process, epoch: Optional[int] = None) -> None:
+        if epoch is None:
+            epoch = self._attach_epoch
+        if epoch != self._attach_epoch or self.current_ap is not None:
+            # superseded by a later attach/detach; ignore the stale completion
+            return
+        if self.transport is None:
+            # legacy path: a simulator link, created synchronously
+            link = Link(self.sim, self.device, access_point, latency=self.latency)
+            self._finish_attach(access_point, link, epoch)
+        else:
+            # through the dynamic-link interface; on socket backends the
+            # connection setup completes asynchronously and _finish_attach
+            # fires once traffic can flow
+            self.transport.open_dynamic_link(
+                self.device,
+                access_point,
+                latency=self.latency,
+                ready=lambda link, _ap=access_point, _e=epoch: self._finish_attach(_ap, link, _e),
+            )
+
+    def _finish_attach(self, access_point: Process, link, epoch: Optional[int] = None) -> None:
+        if (epoch is not None and epoch != self._attach_epoch) or self.current_ap is not None:
+            # superseded while this link was being established; tear the late
+            # arrival down instead of hijacking the current attachment
+            self._discard_stale_link(link)
             return
         self.current_ap = access_point
-        self._link = Link(self.sim, self.device, access_point, latency=self.latency)
+        self._link = link
         self.stats.connects += 1
         self.stats.attachment_history.append((self.sim.now, "attach", access_point.name))
         for callback in list(self._on_connect):
             callback(access_point.name)
 
+    def _discard_stale_link(self, stale) -> None:
+        """Tear down a link whose establishment lost the attachment race.
+
+        ``abandon`` (not ``disconnect``) so that, when the stale
+        establishment targeted the *same* access point as the winning one,
+        the winner's endpoint registrations survive; they are re-attached
+        afterwards in case the stale establishment overwrote them.
+        """
+        stale.abandon()
+        if self.transport is not None:
+            self.transport.close_dynamic_link(stale)
+        if self._link is not None and self.current_ap is not None:
+            self._link.reconnect()
+
     def detach(self) -> None:
-        """Detach from the current access point (range loss, power-off, roaming)."""
+        """Detach from the current access point (range loss, power-off, roaming).
+
+        Also cancels any attachment still being established: after a detach
+        (power-off, leaving coverage) the device must not end up connected
+        because an older attach completed late.
+        """
+        self._attach_epoch += 1
         if self.current_ap is None:
             return
         ap_name = self.current_ap.name
         if self._link is not None:
             self._link.disconnect()
+            if self.transport is not None:
+                self.transport.close_dynamic_link(self._link)
         self.current_ap = None
         self._link = None
         self.stats.disconnects += 1

@@ -30,7 +30,7 @@ class Notification(Mapping[str, Any]):
         Name of the publishing client (informational; routing never uses it).
     """
 
-    __slots__ = ("_attributes", "notification_id", "published_at", "publisher")
+    __slots__ = ("_attributes", "notification_id", "published_at", "publisher", "_wire")
 
     def __init__(
         self,
@@ -43,6 +43,10 @@ class Notification(Mapping[str, Any]):
         self.notification_id = notification_id if notification_id is not None else next(_notification_ids)
         self.published_at = published_at
         self.publisher = publisher
+        # Canonical wire-encoded JSON fragment, filled in lazily by
+        # repro.net.wire so forwarding hops don't re-serialize an immutable
+        # payload once per outgoing link.  Never part of equality or hashing.
+        self._wire: Optional[str] = None
 
     # ------------------------------------------------------------- Mapping API
     def __getitem__(self, key: str) -> Any:

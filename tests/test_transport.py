@@ -456,19 +456,6 @@ def test_make_transport_rejects_simulator_alongside_foreign_transport():
         BrokerNetwork(sim, transport=SimTransport())
 
 
-def test_mobility_layer_rejects_asyncio_backend():
-    from repro.core.location import LocationSpace
-    from repro.core.middleware import MobilePubSub, MobilitySystemConfig
-
-    net = line_topology(n_brokers=2, transport="asyncio", link_latency=0.0)
-    try:
-        space = LocationSpace({"l1": "B1"})
-        with pytest.raises(NotImplementedError):
-            MobilePubSub(net.sim, net, space)
-    finally:
-        net.close()
-
-
 def test_transport_mismatch_detected():
     from repro.core.location import LocationSpace
     from repro.core.middleware import MobilePubSub, MobilitySystemConfig

@@ -78,6 +78,24 @@ class TestAttachment:
         assert channel.stats.connects == 2
         assert channel.stats.disconnects == 1
 
+    def test_detach_cancels_pending_attach(self, setup):
+        # a powered-off device must not end up connected because an older
+        # attach completed after the detach
+        sim, _device, ap1, _ap2, channel = setup
+        channel.attach(ap1)
+        channel.detach()
+        sim.run_until_idle()
+        assert not channel.connected
+        assert channel.stats.connects == 0
+
+    def test_latest_of_overlapping_attaches_wins(self, setup):
+        sim, _device, ap1, ap2, channel = setup
+        channel.attach(ap1)
+        channel.attach(ap2)
+        sim.run_until_idle()
+        assert channel.access_point_name == "ap2"
+        assert channel.stats.connects == 1
+
     def test_attachment_history_recorded(self, setup):
         sim, _device, ap1, ap2, channel = setup
         channel.attach(ap1)
