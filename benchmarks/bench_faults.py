@@ -1,0 +1,176 @@
+"""Fault-tolerance benchmark: chaos-recovery outcomes and recovery times.
+
+Runs the scripted chaos storyline of :mod:`repro.pubsub.chaos` (baseline
+traffic -> ``kill -9`` + supervised restart -> TCP link sever/restore ->
+covering churn) on each backend and records two kinds of metrics:
+
+* **deterministic outcomes** under ``*_count`` keys — lost/replayed
+  publication counts, duplicate deliveries, resync markers and the
+  transport's recovery-action counters.  ``benchmarks/compare.py`` requires
+  these to match the committed baseline *exactly*, so any change to the
+  recovery protocol's observable behaviour fails the CI gate;
+* **recovery times** under ``*_sec`` keys — wall-clock medians/maxima for
+  the crash-recover and sever-restore phases across ``--repeat`` runs.
+  These are machine-dependent and deliberately ignored by the gate; they
+  are recorded for the human reading the JSON.
+
+Every run also re-checks the cross-backend convergence claim: the
+post-recovery delivered sets on the real-process cluster must be identical
+to the deterministic simulator's, and the benchmark exits non-zero when
+they are not (or when repeats disagree on any deterministic count).
+
+Emits ``BENCH_faults.json`` (see ``--output``).  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_faults.py --fast     # CI smoke
+    python benchmarks/compare.py BENCH_faults.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.pubsub.chaos import ChaosError, run_chaos_scenario  # noqa: E402
+
+TEMPS = 8
+DEEP = 4
+
+
+def _counts(result) -> dict:
+    """The deterministic outcome of one chaos run, as gated ``_count`` keys."""
+    recovery = result.recovery
+    return {
+        "delivered_total_count": result.delivered_total(),
+        "messages_lost_count": result.lost,
+        "replayed_delivered_count": result.replayed,
+        "duplicate_delivery_count": result.duplicates,
+        "resync_marker_count": result.resync_markers,
+        "kill_count": recovery.get("kills", 0),
+        "restart_count": recovery.get("restarts", 0),
+        "link_sever_count": recovery.get("link_severs", 0),
+        "link_restore_count": recovery.get("link_restores", 0),
+        "client_resubscribe_count": recovery.get("client_resubscribes", 0),
+    }
+
+
+def run_backend(backend: str, repeat: int):
+    """Run the chaos scenario ``repeat`` times on ``backend``.
+
+    Returns ``(metrics, delivered, errors)`` where ``delivered`` is the
+    first run's post-recovery delivered sets (for the cross-backend check)
+    and ``errors`` lists invariant violations and repeat disagreements.
+    """
+    errors = []
+    counts = None
+    delivered = None
+    resync_forwards = None
+    walls, recover_times, restore_times = [], [], []
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        try:
+            result = run_chaos_scenario(backend, temps=TEMPS, deep=DEEP)
+        except ChaosError as exc:
+            errors.append(str(exc))
+            break
+        walls.append(time.perf_counter() - start)
+        recover_times.append(result.phase_sec.get("recover", 0.0))
+        restore_times.append(result.phase_sec.get("restore", 0.0))
+        if counts is None:
+            counts = _counts(result)
+            delivered = result.delivered
+            resync_forwards = result.resync_forwards
+        elif _counts(result) != counts or result.delivered != delivered:
+            errors.append(
+                f"[{backend}] repeats disagree on deterministic outcomes: "
+                f"{counts} vs {_counts(result)}"
+            )
+    if counts is None:
+        return None, None, errors
+    metrics = dict(counts)
+    # timing-dependent on the cluster (covering state may or may not have
+    # been rebuilt when a resync arrives), so reported but never gated
+    metrics["resync_forwards"] = resync_forwards
+    metrics["wall_sec"] = min(walls)
+    metrics["recover_p50_sec"] = statistics.median(recover_times)
+    metrics["recover_max_sec"] = max(recover_times)
+    metrics["restore_p50_sec"] = statistics.median(restore_times)
+    metrics["restore_max_sec"] = max(restore_times)
+    return metrics, delivered, errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true", help="skip the asyncio backend for CI smoke runs")
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="chaos runs per backend; counts must agree across all of them (default: 3)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_faults.json"),
+    )
+    args = parser.parse_args(argv)
+
+    backends = ["sim", "cluster"] if args.fast else ["sim", "asyncio", "cluster"]
+    results = []
+    baseline_delivered = None
+    status = 0
+    for backend in backends:
+        metrics, delivered, errors = run_backend(backend, args.repeat)
+        for error in errors:
+            print(f"ERROR: {error}", file=sys.stderr)
+            status = 1
+        if metrics is None:
+            continue
+        if backend == "sim":
+            baseline_delivered = delivered
+        elif baseline_delivered is not None and delivered != baseline_delivered:
+            print(
+                f"ERROR: [{backend}] post-recovery delivered sets diverge from "
+                f"the sim baseline: {delivered} vs {baseline_delivered}",
+                file=sys.stderr,
+            )
+            status = 1
+        results.append(
+            {
+                "sweep": "chaos_recovery",
+                "config": {"backend": backend, "temps": TEMPS, "deep": DEEP},
+                "metrics": metrics,
+            }
+        )
+        print(
+            f"chaos {backend:<8} wall={metrics['wall_sec']:6.3f}s "
+            f"delivered={metrics['delivered_total_count']} "
+            f"lost={metrics['messages_lost_count']} "
+            f"replayed={metrics['replayed_delivered_count']} "
+            f"resyncs={metrics['resync_marker_count']} "
+            f"recover_p50={metrics['recover_p50_sec']:.3f}s "
+            f"restore_p50={metrics['restore_p50_sec']:.3f}s"
+        )
+
+    payload = {
+        "benchmark": "faults",
+        "mode": "fast" if args.fast else "full",
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if status == 0:
+        print("post-recovery delivered sets identical across all backends")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

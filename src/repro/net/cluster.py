@@ -52,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import random
 import subprocess
 import sys
 from pathlib import Path
@@ -68,7 +69,7 @@ from .registry import (
     register_node,
     report_ready,
 )
-from .transport import AsyncioClock, Transport, TransportError
+from .transport import FAULT_ACTIONS, AsyncioClock, Transport, TransportError
 from .wire import FrameDecoder
 
 
@@ -171,12 +172,19 @@ class _BrokerNode:
     """
 
     LINK_SETUP_TIMEOUT = 30.0
+    #: first retry pause when dialling a peer that is not accepting yet
+    DIAL_RETRY_BASE = 0.05
+    #: upper bound on the exponential backoff between dial retries
+    DIAL_RETRY_CAP = 2.0
 
     def __init__(self, spec: Dict[str, Any]):
         self.spec = spec
         self.name: str = spec["name"]
         self.host: str = spec.get("host", "127.0.0.1")
         self.registry_address: Tuple[str, int] = tuple(spec["registry"])
+        #: a restarted node re-synchronises routing state over every link it
+        #: (re-)establishes, instead of assuming the peers' tables are fresh
+        self.resync_on_connect: bool = bool(spec.get("resync", False))
         self.broker = None
         self.failure: Optional[BaseException] = None
         self.stop = asyncio.Event()
@@ -198,7 +206,13 @@ class _BrokerNode:
             if isinstance(endpoint, _RemoteEndpoint):
                 endpoint.flush()
 
-    async def _read_link(self, reader: asyncio.StreamReader, decoder: FrameDecoder) -> None:
+    async def _read_link(
+        self,
+        reader: asyncio.StreamReader,
+        decoder: FrameDecoder,
+        peer: Optional[str] = None,
+        endpoint: Optional[_RemoteEndpoint] = None,
+    ) -> None:
         """The receive hot path: decode frames, hand messages to the broker.
 
         Deliberately synchronous per message (no per-frame coroutine, no
@@ -207,21 +221,44 @@ class _BrokerNode:
         forwards of a whole burst leave in one write.  This lean path is
         what lets a broker child outpace the single-process asyncio backend
         even before multi-core parallelism.
+
+        ``peer``/``endpoint`` identify the link this loop serves, so that a
+        crash of the remote end (EOF, TCP reset) can be reported to the
+        broker as a lost link rather than silently ignored.
         """
         deliver = self.broker.deliver
         decode = wire.decode_message
+        lost = False
         try:
             while True:
                 data = await reader.read(65536)
                 if not data:
+                    lost = True
                     break
                 for body in decoder.feed(data):
                     deliver(decode(body))
                 self._flush_endpoints()
-        except (ConnectionResetError, asyncio.CancelledError):
+        except ConnectionResetError:
+            lost = True
+        except asyncio.CancelledError:
             pass
         except BaseException as exc:  # routing/codec bugs must fail the node
             self._fail(exc)
+        if lost and peer is not None:
+            try:
+                self._link_lost(peer, endpoint)
+            except BaseException as exc:
+                self._fail(exc)
+
+    def _link_lost(self, peer: str, endpoint: Optional[_RemoteEndpoint]) -> None:
+        """React to a link dying under us (peer crashed or was severed)."""
+        if self.stop.is_set():
+            return  # orderly shutdown closes every link; nothing to recover
+        if self.broker.links.get(peer) is not endpoint:
+            return  # a reconnect already replaced this link; stale EOF
+        self.broker.handle_link_lost(peer)
+        # dropping a client link's entries may forward unsubscribes
+        self._flush_endpoints()
 
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -240,16 +277,20 @@ class _BrokerNode:
                     handshake = wire.decode_control(bodies[0])
                     leftover = bodies[1:]
             peer = handshake["peer"]
-            self.broker.attach_link(peer, _RemoteEndpoint(writer, peer))
+            endpoint = _RemoteEndpoint(writer, peer)
+            self.broker.attach_link(peer, endpoint)
             if handshake.get("kind") == "broker":
                 self.broker.register_broker_peer(peer)
             self._writers.append(writer)
             self._accept_pending.discard(peer)
             self._accept_seen.set()
+            if handshake.get("resync"):
+                # the dialer lost (or restarted without) its routing state:
+                # void what it advertised before and send ours from scratch
+                self.broker.resync_link(peer)
             for body in leftover:
                 self.broker.deliver(wire.decode_message(body))
-            if leftover:
-                self._flush_endpoints()
+            self._flush_endpoints()
         except (ConnectionResetError, asyncio.CancelledError):
             writer.close()
             return
@@ -257,18 +298,60 @@ class _BrokerNode:
             self._fail(exc)
             writer.close()
             return
-        await self._read_link(reader, decoder)
+        await self._read_link(reader, decoder, peer, endpoint)
 
-    async def _dial_peer(self, peer: str) -> None:
-        """Initiate the link for an edge this node is the dialer of."""
-        address = await lookup(self.registry_address, peer, timeout=self.LINK_SETUP_TIMEOUT)
-        reader, writer = await asyncio.open_connection(*address)
-        writer.write(wire.frame(wire.encode_control({"peer": self.name, "kind": "broker"})))
+    async def _dial_peer(self, peer: str, resync: bool = False) -> None:
+        """Initiate the link for an edge this node is the dialer of.
+
+        Connection attempts are retried with bounded exponential backoff and
+        jitter until :data:`LINK_SETUP_TIMEOUT` runs out: during recovery the
+        peer may be mid-restart, registered but not yet accepting, and a
+        thundering herd of reconnecting neighbours must not synchronise.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.LINK_SETUP_TIMEOUT
+        pause = self.DIAL_RETRY_BASE
+        while True:
+            address = await lookup(self.registry_address, peer, timeout=self.LINK_SETUP_TIMEOUT)
+            try:
+                reader, writer = await asyncio.open_connection(*address)
+                break
+            except OSError as exc:
+                if loop.time() + pause > deadline:
+                    raise ClusterError(
+                        f"{self.name}: could not connect to {peer!r} at {address} "
+                        f"within {self.LINK_SETUP_TIMEOUT}s: {exc}"
+                    )
+                await asyncio.sleep(pause + random.uniform(0.0, pause / 4))
+                pause = min(pause * 2, self.DIAL_RETRY_CAP)
+        handshake = {"peer": self.name, "kind": "broker"}
+        if resync:
+            handshake["resync"] = True
+        writer.write(wire.frame(wire.encode_control(handshake)))
         await writer.drain()
-        self.broker.attach_link(peer, _RemoteEndpoint(writer, peer))
+        endpoint = _RemoteEndpoint(writer, peer)
+        self.broker.attach_link(peer, endpoint)
         self.broker.register_broker_peer(peer)
         self._writers.append(writer)
-        self._tasks.append(asyncio.ensure_future(self._read_link(reader, FrameDecoder())))
+        if resync:
+            self.broker.resync_link(peer)
+            self._flush_endpoints()
+        self._tasks.append(
+            asyncio.ensure_future(self._read_link(reader, FrameDecoder(), peer, endpoint))
+        )
+
+    def _sever_link(self, peer: str) -> None:
+        """Tear the TCP link to ``peer`` down for real (fault injection).
+
+        Idempotent: the peer's own severing (or its crash) may already have
+        taken the link away by the time the control request arrives.
+        """
+        endpoint = self.broker.links.get(peer)
+        if isinstance(endpoint, _RemoteEndpoint):
+            endpoint.writer.close()
+        if self.broker.has_link(peer):
+            self.broker.handle_link_lost(peer)
+            self._flush_endpoints()
 
     async def _wait_for_accepts(self) -> None:
         deadline = asyncio.get_running_loop().time() + self.LINK_SETUP_TIMEOUT
@@ -310,6 +393,16 @@ class _BrokerNode:
                 op = request.get("op")
                 if op == "stats":
                     channel.send({"re": rid, "ok": True, **self._stats()})
+                elif op == "link_down":
+                    self._sever_link(request.get("peer"))
+                    channel.send({"re": rid, "ok": True})
+                elif op == "link_up":
+                    try:
+                        await self._dial_peer(request.get("peer"), resync=True)
+                    except (ClusterError, RegistryError, OSError) as exc:
+                        channel.send({"re": rid, "ok": False, "error": str(exc)})
+                    else:
+                        channel.send({"re": rid, "ok": True})
                 elif op == "shutdown":
                     channel.send({"re": rid, "ok": True})
                     await channel.drain()
@@ -340,7 +433,7 @@ class _BrokerNode:
         channel = await register_node(self.registry_address, self.name, self.host, port)
         try:
             for peer in self.spec.get("dial", ()):
-                await self._dial_peer(peer)
+                await self._dial_peer(peer, resync=self.resync_on_connect)
             await self._wait_for_accepts()
             await report_ready(channel, self.name)
             self._tasks.append(asyncio.ensure_future(self._control_loop(channel)))
@@ -406,13 +499,23 @@ class ClusterLink:
 
     # ------------------------------------------------------------------ state
     def set_up(self, up: bool) -> None:
-        raise ClusterError("cluster links do not support fault injection yet")
+        """Sever (``False``) or restore (``True``) this broker edge for real.
+
+        Severing closes the TCP connection on both children; restoring makes
+        the edge's original dialer reconnect and re-synchronise routing state
+        in both directions.  Only broker-to-broker edges can be severed — a
+        client link is torn down by killing (or detaching) the client.
+        """
+        if up:
+            self.transport._restore_link(self)
+        else:
+            self.transport._sever_link(self)
 
     def disconnect(self) -> None:
-        raise ClusterError("cluster links do not support disconnection yet")
+        self.set_up(False)
 
     def reconnect(self) -> None:
-        raise ClusterError("cluster links do not support reconnection yet")
+        self.set_up(True)
 
     def on_drop(self, message: Message, source: Process, target: Process) -> None:
         """Drop hook for interface parity; cluster links never drop by policy."""
@@ -537,9 +640,14 @@ class ClusterTransport(Transport):
     # the broker topology freezes at boot, so the dynamically attaching
     # wireless links of the mobility layer cannot be hosted here
     supports_mobility = False
+    # faults are real here: SIGKILL + supervised respawn, TCP-level severing
+    supports_fault_injection = True
 
     DEFAULT_BOOT_TIMEOUT = 60.0
     DEFAULT_IDLE_TIMEOUT = 120.0
+    #: once a fault has dropped frames, sent==received never holds again;
+    #: quiescence then requires this many consecutive identical poll rounds
+    LOSSY_STABLE_ROUNDS = 5
 
     def __init__(
         self,
@@ -570,6 +678,19 @@ class ClusterTransport(Transport):
         self.polled_stats: Dict[str, Dict[str, Any]] = {}
         #: broker name -> exit code, filled in by :meth:`close`
         self.exit_codes: Dict[str, int] = {}
+        #: brokers deliberately killed and not yet restarted
+        self._down: Set[str] = set()
+        #: set once any fault dropped frames; switches the idle detector to
+        #: counter-stability (conservation cannot hold after a loss)
+        self._lossy = False
+        #: fault/recovery action counters, for the chaos harness and benches
+        self.recovery: Dict[str, int] = {
+            "kills": 0,
+            "restarts": 0,
+            "link_severs": 0,
+            "link_restores": 0,
+            "client_resubscribes": 0,
+        }
         self._booted = False
         self._closed = False
         self._shutting_down = False
@@ -692,6 +813,8 @@ class ClusterTransport(Transport):
         if self._shutting_down:
             return
         for name, child in self._children.items():
+            if name in self._down:
+                continue  # deliberately killed; not a surprise crash
             code = child.poll()
             if code is not None:
                 raise ClusterError(
@@ -730,6 +853,146 @@ class ClusterTransport(Transport):
             if self._pending_error is None:
                 self._pending_error = exc
 
+    # ------------------------------------------------------------- fault plane
+    def inject_fault(self, action: str, process=None, link=None) -> None:
+        """Real faults: SIGKILL/respawn for processes, TCP severing for links."""
+        if action == "crash":
+            self.kill_broker(self._fault_target(process, "process").name)
+        elif action == "restart":
+            self.restart_broker(self._fault_target(process, "process").name)
+        elif action == "link_down":
+            self._sever_link(self._fault_target(link, "link"))
+        elif action == "link_up":
+            self._restore_link(self._fault_target(link, "link"))
+        else:
+            raise TransportError(
+                f"unknown fault action {action!r}; available: {FAULT_ACTIONS}"
+            )
+
+    def kill_broker(self, name: str) -> None:
+        """``kill -9`` a broker child mid-run (chaos testing).
+
+        The registry forgets the node so its stale address cannot satisfy a
+        lookup, and liveness checks stop treating the death as a crash.
+        Frames in flight towards the dead broker are lost — exactly what the
+        real fault would lose.
+        """
+        self._require_open()
+        if name not in self._children:
+            raise ClusterError(f"unknown broker {name!r} (is the cluster booted?)")
+        if name in self._down:
+            raise ClusterError(f"broker {name!r} is already down")
+        child = self._children[name]
+        if child.poll() is None:
+            child.kill()
+        child.wait()
+        self.registry.forget(name)
+        self._down.add(name)
+        self._lossy = True
+        self.recovery["kills"] += 1
+        # half-open client sockets towards the corpse would buffer silently;
+        # closing them makes client-side sends count as drops immediately
+        for client_name in sorted(self._client_peers.get(name, ())):
+            endpoint = self._local[client_name].links.get(name)
+            if isinstance(endpoint, _RemoteEndpoint):
+                endpoint.writer.close()
+
+    def restart_broker(self, name: str) -> None:
+        """Supervised restart of a killed broker: respawn, re-link, re-sync.
+
+        The respawned child re-registers under its old name, dials every
+        surviving neighbour with the resync flag (both sides re-advertise
+        their routing state from scratch), and the parent re-attaches the
+        broker's clients, whose local brokers re-issue their subscriptions —
+        after the next drain the delivery sets converge back to the sim
+        baseline.
+        """
+        self._require_open()
+        if name not in self._down:
+            raise ClusterError(f"broker {name!r} is not down; kill it before restarting")
+        spec = dict(self._specs[name])
+        spec["dial"] = self._neighbors_of(name)
+        spec["accept"] = []
+        spec["resync"] = True
+        self._children[name] = self._spawn(spec)
+        self._down.discard(name)
+        barrier = self.registry.wait_ready([name], self.boot_timeout, liveness=self._check_children)
+        self._loop.run_until_complete(barrier)
+        self.recovery["restarts"] += 1
+        for client_name in sorted(self._client_peers.get(name, ())):
+            client = self._local[client_name]
+            link = self._client_link(client_name, name)
+            self._loop.run_until_complete(self._attach_client(client, name, link))
+            if hasattr(client, "connect_to"):
+                client.connect_to(name, reissue=True)
+                self.recovery["client_resubscribes"] += len(client.subscriptions)
+        self._flush_local()
+
+    def _neighbors_of(self, name: str) -> List[str]:
+        """Broker peers reachable over currently-up edges (for re-dialling)."""
+        peers: Set[str] = set()
+        for link in self.links:
+            if not link.is_broker_edge or not link.up:
+                continue
+            if link.a.name == name:
+                peers.add(link.b.name)
+            elif link.b.name == name:
+                peers.add(link.a.name)
+        return sorted(peers)
+
+    def _client_link(self, client_name: str, broker_name: str) -> ClusterLink:
+        for link in self.links:
+            if not link.is_broker_edge and {link.a.name, link.b.name} == {
+                client_name,
+                broker_name,
+            }:
+                return link
+        raise ClusterError(f"no client link between {client_name!r} and {broker_name!r}")
+
+    def _sever_link(self, link: ClusterLink) -> None:
+        """Close a broker edge's TCP connection on both children."""
+        self._require_open()
+        if not isinstance(link, ClusterLink) or not link.is_broker_edge:
+            raise ClusterError("only broker-to-broker cluster links can be severed")
+        if not link.up:
+            return
+
+        async def sever() -> None:
+            for owner, peer in ((link.a.name, link.b.name), (link.b.name, link.a.name)):
+                if owner not in self._down:
+                    await self.registry.call(owner, {"op": "link_down", "peer": peer}, timeout=10.0)
+
+        self._loop.run_until_complete(sever())
+        link.up = False
+        self._lossy = True
+        self.recovery["link_severs"] += 1
+
+    def _restore_link(self, link: ClusterLink) -> None:
+        """Re-establish a severed broker edge (original dialer reconnects)."""
+        self._require_open()
+        if not isinstance(link, ClusterLink) or not link.is_broker_edge:
+            raise ClusterError("only broker-to-broker cluster links can be restored")
+        if link.up:
+            return
+        dialer, acceptor = link.a.name, link.b.name
+        if dialer in self._down or acceptor in self._down:
+            raise ClusterError(
+                f"cannot restore {dialer}<->{acceptor}: one side is down; restart it first"
+            )
+
+        async def restore() -> None:
+            reply = await self.registry.call(
+                dialer, {"op": "link_up", "peer": acceptor}, timeout=self.boot_timeout
+            )
+            if not reply.get("ok"):
+                raise ClusterError(
+                    f"link restore {dialer}->{acceptor} failed: {reply.get('error')}"
+                )
+
+        self._loop.run_until_complete(restore())
+        link.up = True
+        self.recovery["link_restores"] += 1
+
     # ----------------------------------------------------------------- driving
     def _flush_local(self) -> None:
         """Write out frames the parent's clients buffered since the last drive."""
@@ -766,15 +1029,22 @@ class ClusterTransport(Transport):
         async def drain() -> None:
             deadline = self._loop.time() + timeout
             previous: Optional[Dict[str, Tuple[int, int]]] = None
+            stable_rounds = 0
             while True:
                 if self._pending_error is not None:
                     return
                 self._flush_local()  # clients buffer while the loop is parked
                 self._check_children()
                 snapshot = await self._poll_counters()
+                stable_rounds = stable_rounds + 1 if snapshot == previous else 0
                 received_total = sum(received for received, _ in snapshot.values())
                 sent_total = sum(sent for _, sent in snapshot.values())
-                idle = sent_total == received_total and snapshot == previous
+                if self._lossy:
+                    # a fault dropped frames, so conservation is broken for
+                    # good; require several consecutive identical rounds
+                    idle = stable_rounds >= self.LOSSY_STABLE_ROUNDS
+                else:
+                    idle = sent_total == received_total and stable_rounds >= 1
                 # parity with the asyncio backend: a scheduled-but-unfired
                 # parent-side clock callback also keeps the cluster busy
                 if idle and self._clock.pending_timers == 0:
@@ -794,7 +1064,7 @@ class ClusterTransport(Transport):
     async def _poll_counters(self) -> Dict[str, Tuple[int, int]]:
         # every broker has its own control channel, so the stats calls are
         # independent: one concurrent round costs one RTT, not n_brokers RTTs
-        names = list(self._specs)
+        names = [name for name in self._specs if name not in self._down]
         calls = [self.registry.call(name, {"op": "stats"}, timeout=5.0) for name in names]
         replies = await asyncio.gather(*calls, return_exceptions=True)
         snapshot: Dict[str, Tuple[int, int]] = {}

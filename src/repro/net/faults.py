@@ -8,12 +8,17 @@ simulation so tests and experiments can observe how the mobility layer
 degrades and recovers:
 
 * :class:`FaultInjector` — schedule link outages, broker crashes/restarts and
-  (acyclic-graph) partitions at chosen simulated times;
+  (acyclic-graph) partitions at chosen simulated times, or fire them
+  immediately with the ``*_now`` variants;
 * :class:`FaultLog` — a record of every injected event for post-hoc analysis.
 
-Faults are deliberately *mechanical*: they flip the same switches
-(:meth:`Link.set_up`, :meth:`Process.shutdown`) that operational tooling
-would, so no component gets magical knowledge that a fault happened.
+Faults are deliberately *mechanical*: every injection goes through
+:meth:`~repro.net.transport.Transport.inject_fault`, the same seam
+operational tooling would use, so no component gets magical knowledge that a
+fault happened.  On the simulator that flips :meth:`Link.set_up` /
+``Process.alive`` with byte-identical scheduling; on the cluster backend the
+very same calls become a real ``kill -9`` + supervised respawn and TCP-level
+link severing (see :mod:`repro.net.cluster`).
 """
 
 from __future__ import annotations
@@ -64,6 +69,7 @@ class FaultInjector:
     def __init__(self, sim: Simulator, network: Network):
         self.sim = sim
         self.network = network
+        self.transport = network.transport
         self.log = FaultLog()
 
     # ------------------------------------------------------------------ links
@@ -78,8 +84,16 @@ class FaultInjector:
         link = self._require_link(a, b)
         self.sim.schedule_at(at, self._set_link, link, False, f"{a}<->{b}")
 
+    def link_down_now(self, a: str, b: str) -> None:
+        """Sever the link between ``a`` and ``b`` immediately (any backend)."""
+        self._set_link(self._require_link(a, b), False, f"{a}<->{b}")
+
+    def link_up_now(self, a: str, b: str) -> None:
+        """Restore the link between ``a`` and ``b`` immediately (any backend)."""
+        self._set_link(self._require_link(a, b), True, f"{a}<->{b}")
+
     def _set_link(self, link: Link, up: bool, label: str) -> None:
-        link.set_up(up)
+        self.transport.inject_fault("link_up" if up else "link_down", link=link)
         self.log.record(self.sim.now, "link_up" if up else "link_down", label)
 
     def _require_link(self, a: str, b: str) -> Link:
@@ -109,8 +123,16 @@ class FaultInjector:
         self.crash_process(name, start)
         self.restart_process(name, start + duration)
 
+    def crash_now(self, name: str) -> None:
+        """Crash a process immediately (``kill -9`` on the cluster backend)."""
+        self._set_process_alive(self._require_process(name), False)
+
+    def restart_now(self, name: str) -> None:
+        """Restart a crashed process immediately (supervised respawn on cluster)."""
+        self._set_process_alive(self._require_process(name), True)
+
     def _set_process_alive(self, process: Process, alive: bool) -> None:
-        process.alive = alive
+        self.transport.inject_fault("restart" if alive else "crash", process=process)
         self.log.record(self.sim.now, "process_up" if alive else "process_down", process.name)
 
     def _require_process(self, name: str) -> Process:
@@ -126,9 +148,19 @@ class FaultInjector:
         partition of the broker graph corresponds to taking down the (single)
         tree edge between the two sides, but the helper works for any split,
         including replicator-to-replicator links.
+
+        Raises :class:`ValueError` when either side is empty or the sides
+        overlap — a process cannot be on both sides of a partition.
         """
-        affected = 0
         group_a, group_b = set(side_a), set(side_b)
+        if not group_a or not group_b:
+            raise ValueError("both sides of a partition must be non-empty")
+        overlap = group_a & group_b
+        if overlap:
+            raise ValueError(
+                f"partition sides must be disjoint; both contain: {sorted(overlap)}"
+            )
+        affected = 0
         for link in self.network.links:
             names = {link.a.name, link.b.name}
             if names & group_a and names & group_b:

@@ -181,7 +181,11 @@ class RegistryServer:
             # the stream protocol's done-callback from logging the cancel
             pass
         finally:
-            if registered_name is not None:
+            # Only the channel that currently owns the name may tear its
+            # registration down: after a crash + re-register, the *old*
+            # connection's EOF arrives late and must not clobber the
+            # restarted node's fresh control channel.
+            if registered_name is not None and self._controls.get(registered_name) is channel:
                 self.disconnected.add(registered_name)
                 self._controls.pop(registered_name, None)
                 for rid, (future, owner) in list(self._replies.items()):
@@ -199,11 +203,16 @@ class RegistryServer:
         if not isinstance(name, str) or not name:
             channel.send({"ok": False, "error": f"invalid broker name {name!r}"})
             return None
-        if name in self.registered:
+        if name in self._controls:
+            # a *live* holder of the name is a genuine duplicate; a stale
+            # address left behind by a crashed node is not — supervised
+            # restart re-registers under the same name with a new port
             channel.send({"ok": False, "error": f"duplicate broker name {name!r}"})
             return None
         self.registered[name] = (payload["host"], payload["port"])
         self._controls[name] = channel
+        self.ready.discard(name)
+        self.disconnected.discard(name)
         channel.send({"ok": True})
         return name
 
@@ -220,6 +229,25 @@ class RegistryServer:
             channel.send({"ok": False, "error": error})
         else:
             channel.send({"ok": True, "host": address[0], "port": address[1]})
+
+    def forget(self, name: str) -> None:
+        """Erase a node's registration (used after a deliberate ``kill -9``).
+
+        Clears the address, readiness and control-channel state so a
+        supervised restart can re-register the name, and so a concurrent
+        ``lookup`` cannot resolve to the dead node's stale port.
+        """
+        self.registered.pop(name, None)
+        self.ready.discard(name)
+        channel = self._controls.pop(name, None)
+        if channel is not None:
+            channel.close()
+        self.disconnected.add(name)
+        for rid, (future, owner) in list(self._replies.items()):
+            if owner == name:
+                self._replies.pop(rid, None)
+                if not future.done():
+                    future.set_exception(RegistryError(f"control channel to {owner!r} closed"))
 
     # ----------------------------------------------------------- coordination
     async def wait_ready(
@@ -254,8 +282,10 @@ class RegistryServer:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._replies[rid] = (future, name)
         channel.send({**payload, "rid": rid})
-        await channel.drain()
         try:
+            # the drain is bounded too: a hung child with a full socket
+            # buffer must not wedge the parent's control loop
+            await asyncio.wait_for(channel.drain(), timeout)
             return await asyncio.wait_for(future, timeout)
         except asyncio.TimeoutError:
             self._replies.pop(rid, None)
@@ -290,10 +320,15 @@ async def register_node(
     Raises :class:`RegistryError` when the registry refuses the name
     (duplicate registration) or does not answer in time.
     """
-    reader, writer = await asyncio.open_connection(*registry_address)
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(*registry_address), timeout
+        )
+    except asyncio.TimeoutError:
+        raise RegistryError(f"registry at {registry_address} did not accept within {timeout}s")
     channel = FrameChannel(reader, writer)
     channel.send({"op": "register", "name": name, "host": advertise_host, "port": advertise_port})
-    await channel.drain()
+    await asyncio.wait_for(channel.drain(), timeout)
     reply = await channel.recv(timeout=timeout)
     if not reply or not reply.get("ok"):
         channel.close()
@@ -306,7 +341,7 @@ async def register_node(
 async def report_ready(channel: FrameChannel, name: str, timeout: float = 10.0) -> None:
     """Tell the registry this node's links are all up (boot barrier)."""
     channel.send({"op": "ready", "name": name})
-    await channel.drain()
+    await asyncio.wait_for(channel.drain(), timeout)
     reply = await channel.recv(timeout=timeout)
     if not reply or not reply.get("ok"):
         raise RegistryError(f"ready report for {name!r} rejected: {reply!r}")
@@ -316,11 +351,16 @@ async def lookup(
     registry_address: Tuple[str, int], name: str, timeout: float = 10.0
 ) -> Tuple[str, int]:
     """Resolve a broker name to its address, waiting for it to register."""
-    reader, writer = await asyncio.open_connection(*registry_address)
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(*registry_address), timeout
+        )
+    except asyncio.TimeoutError:
+        raise RegistryError(f"registry at {registry_address} did not accept within {timeout}s")
     channel = FrameChannel(reader, writer)
     try:
         channel.send({"op": "lookup", "name": name, "timeout": timeout})
-        await channel.drain()
+        await asyncio.wait_for(channel.drain(), timeout)
         reply = await channel.recv(timeout=timeout + 5.0)
     finally:
         channel.close()

@@ -67,6 +67,9 @@ from .simulator import SimulationError, Simulator
 #: the names accepted by the ``transport=`` knob
 TRANSPORT_NAMES = ("sim", "asyncio", "cluster")
 
+#: the fault primitives accepted by :meth:`Transport.inject_fault`
+FAULT_ACTIONS = ("crash", "restart", "link_down", "link_up")
+
 
 class TransportError(RuntimeError):
     """Raised when a transport is used incorrectly or fails to settle."""
@@ -98,6 +101,10 @@ class Transport(ABC):
     #: not just wired up at build time.  Backends opt in explicitly.
     supports_mobility: bool = False
 
+    #: whether :meth:`inject_fault` works on this backend.  Backends opt in
+    #: explicitly, the same way they opt into mobility.
+    supports_fault_injection: bool = False
+
     @property
     @abstractmethod
     def clock(self):
@@ -120,6 +127,42 @@ class Transport(ABC):
     @abstractmethod
     def run_until_idle(self) -> float:
         """Run until no traffic or scheduled work remains; returns the clock's time."""
+
+    # ------------------------------------------------------------ fault plane
+    def inject_fault(self, action: str, process: Optional[Process] = None, link=None) -> None:
+        """Apply one fault primitive to a process or link of this substrate.
+
+        The transport-agnostic seam used by
+        :class:`~repro.net.faults.FaultInjector`: ``"crash"``/``"restart"``
+        act on ``process``, ``"link_down"``/``"link_up"`` on ``link`` (see
+        :data:`FAULT_ACTIONS`).  The in-process backends flip the exact same
+        switches operational tooling would (``Process.alive``,
+        ``Link.set_up``), preserving byte-identical scheduling on the
+        simulator; the cluster backend overrides this with real
+        SIGKILL/respawn and TCP-level link severing.
+        """
+        if not self.supports_fault_injection:
+            raise TransportError(
+                f"the {self.name!r} transport does not support fault injection"
+            )
+        if action == "crash":
+            self._fault_target(process, "process").alive = False
+        elif action == "restart":
+            self._fault_target(process, "process").alive = True
+        elif action == "link_down":
+            self._fault_target(link, "link").set_up(False)
+        elif action == "link_up":
+            self._fault_target(link, "link").set_up(True)
+        else:
+            raise TransportError(
+                f"unknown fault action {action!r}; available: {FAULT_ACTIONS}"
+            )
+
+    @staticmethod
+    def _fault_target(target, role: str):
+        if target is None:
+            raise TransportError(f"this fault action requires a {role} target")
+        return target
 
     # ------------------------------------------------------------ dynamic links
     def open_dynamic_link(
@@ -203,6 +246,7 @@ class SimTransport(Transport):
 
     name = "sim"
     supports_mobility = True
+    supports_fault_injection = True
 
     def __init__(self, sim: Optional[Simulator] = None):
         if sim is not None and not isinstance(sim, Simulator):
@@ -487,6 +531,7 @@ class AsyncioTransport(Transport):
 
     name = "asyncio"
     supports_mobility = True
+    supports_fault_injection = True
 
     #: default cap on run_until_idle, so a routing bug cannot hang a test run
     DEFAULT_IDLE_TIMEOUT = 30.0

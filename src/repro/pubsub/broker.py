@@ -86,6 +86,9 @@ class Broker(Process):
         self.subscriptions_handled = 0
         self.unsubscriptions_handled = 0
         self.duplicate_publishes_dropped = 0
+        self.resyncs_sent = 0
+        self.resyncs_received = 0
+        self.resync_forwards_sent = 0
         if duplicates_capacity is not None and duplicates_capacity < 1:
             raise ValueError("duplicates_capacity must be >= 1 (use deduplicate=False to disable)")
         self.duplicates_capacity = (
@@ -145,6 +148,8 @@ class Broker(Process):
             self._handle_unsubscribe(message)
         elif kind == "detach":
             self._handle_detach(message)
+        elif kind == "resync":
+            self._handle_resync(message)
         else:
             # Unknown kinds (mobility control traffic addressed to co-located
             # replicators, etc.) are ignored by the plain broker.
@@ -168,12 +173,57 @@ class Broker(Process):
     def _handle_detach(self, message: Message) -> None:
         """A client link announces it is going away: drop all its routing entries."""
         link = message.sender or ""
+        self._drop_link_entries(link)
+
+    def _handle_resync(self, message: Message) -> None:
+        """A broker peer lost its state: void everything it advertised to us.
+
+        The peer sends the ``resync`` marker first and re-forwards its
+        current routing state right behind it; link FIFO guarantees the
+        stale entries are gone before the fresh advertisements land.
+        """
+        link = message.sender or ""
+        self.resyncs_received += 1
+        self._drop_link_entries(link)
+
+    def _drop_link_entries(self, link: str) -> None:
         removed = self.routing_table.remove_link(link)
         # the bulk removal bypassed the strategy; let its incremental
         # forwarded-filter index re-derive contributions from the live table
         self.strategy.on_entries_removed(removed)
         for entry in removed:
             self.strategy.handle_unsubscribe(entry.sub_id, entry.filter, link)
+
+    # ----------------------------------------------------------- fault recovery
+    def resync_link(self, peer_name: str) -> int:
+        """Re-synchronise a broker peer's view of our routing state.
+
+        The recovery path after a crash or severed link: send the ``resync``
+        marker (the peer drops every entry it holds for this link), then
+        re-forward the current routing table exactly as a fresh boot would.
+        Returns the number of re-forwarded subscriptions.
+        """
+        if not self.has_link(peer_name):
+            return 0
+        self.resyncs_sent += 1
+        self.send(peer_name, Message(kind="resync"))
+        forwards = self.strategy.resync_link(peer_name)
+        self.resync_forwards_sent += forwards
+        return forwards
+
+    def handle_link_lost(self, peer_name: str) -> None:
+        """The transport lost the link to ``peer_name`` (crash or TCP reset).
+
+        The endpoint is detached so routing skips the peer.  A client
+        link's routing entries go with it — a re-attaching client re-issues
+        its subscriptions; a broker peer's entries stay, because the peer
+        re-syncs them on reconnect and keeping them avoids advertisement
+        churn during a transient outage (matching the sim backend, where a
+        downed link leaves the routing tables untouched).
+        """
+        self.detach_link(peer_name)
+        if peer_name not in self._broker_peers:
+            self._drop_link_entries(peer_name)
 
     # ------------------------------------------------------------ notifications
     def _handle_publish(self, message: Message) -> None:
@@ -227,6 +277,8 @@ class Broker(Process):
             "delivered_locally": self.notifications_delivered_locally,
             "subscriptions": self.subscriptions_handled,
             "unsubscriptions": self.unsubscriptions_handled,
+            "resyncs": self.resyncs_received,
+            "resync_forwards": self.resync_forwards_sent,
             "table_size": self.routing_table_size(),
             "messages_sent": self.messages_sent,
             "messages_received": self.messages_received,

@@ -453,6 +453,46 @@ class RoutingStrategy:
                     )
                     self._do_forward(shadow, link)
 
+    def resync_link(self, link: str) -> int:
+        """Re-advertise this broker's routing state over ``link`` from scratch.
+
+        The recovery half of the paper's subscription re-sync: after the
+        peer behind ``link`` lost its state (a broker process restart) or
+        the connection was re-established after a severed TCP link, the
+        peer's view of our advertisements is void.  Forget everything this
+        strategy believes it forwarded over the link, then re-forward the
+        current routing table making the same decisions a fresh boot would
+        — so the peer converges back to the steady-state advertisement set.
+        Returns the number of subscriptions re-forwarded.
+        """
+        for sub_id in [s for s, links in self._forwarded.items() if link in links]:
+            links = self._forwarded[sub_id]
+            links.discard(link)
+            if self._index is not None:
+                self._index.remove_contribution(sub_id, link)
+            if not links:
+                del self._forwarded[sub_id]
+        self._adverts_changed.add(link)
+        if link not in self.broker.broker_neighbors():
+            return 0
+        table = self.broker.routing_table
+        count = 0
+        # sorted: re-advertisement order must not depend on set iteration
+        # order (byte-reproducible runs), mirroring _reforward_uncovered
+        for sub_id in sorted(table.subscription_ids()):
+            for entry in table.entries_for_sub(sub_id):
+                if entry.link == link:
+                    continue  # never echo the peer's own subscriptions back
+                if link in self._forwarded.get(sub_id, ()):
+                    break  # an earlier entry already re-advertised this pair
+                if self.needs_forwarding(entry.filter, link):
+                    shadow = Subscription(
+                        sub_id=sub_id, filter=entry.filter, subscriber=entry.link
+                    )
+                    self._do_forward(shadow, link)
+                    count += 1
+        return count
+
     # -------------------------------------------------------------------- stats
     def forwarded_count(self) -> int:
         return sum(len(links) for links in self._forwarded.values())
@@ -479,6 +519,11 @@ class FloodingRouting(RoutingStrategy):
             notification, exclude=set(self.broker.broker_neighbors()) | {from_link}
         )
         return sorted(set(destinations) | set(client_targets))
+
+    def resync_link(self, link: str) -> int:
+        # flooding never advertises subscriptions, so there is nothing to
+        # re-advertise after a peer restart
+        return 0
 
 
 class SimpleRouting(RoutingStrategy):
@@ -538,6 +583,15 @@ class MergingRouting(CoveringRouting):
         super().handle_subscribe(subscription, from_link)
         for link in self._forward_targets(from_link):
             self._maybe_merge(link)
+
+    def resync_link(self, link: str) -> int:
+        # the peer lost the merged advertisement with the rest of its state;
+        # drop the record so a later fold re-advertises instead of assuming
+        # the peer still holds an identical merged filter
+        self._merged_subs.pop(link, None)
+        count = super().resync_link(link)
+        self._maybe_merge(link)
+        return count
 
     def _maybe_merge(self, link: str) -> None:
         if link not in self._adverts_changed:

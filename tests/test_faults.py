@@ -84,6 +84,69 @@ class TestFaultInjector:
         assert len(injector.log) == 2  # down + up
 
 
+class TestFaultLog:
+    def test_log_is_chronological_even_when_scheduled_out_of_order(self, small_network):
+        sim, network, _a, _b, _c = small_network
+        injector = FaultInjector(sim, network)
+        # scheduled in reverse order; the log must record execution order
+        injector.crash_for("b", start=3.0, duration=1.0)
+        injector.link_outage("a", "b", start=1.0, duration=0.5)
+        sim.run_until_idle()
+        assert [e.kind for e in injector.log] == [
+            "link_down",
+            "link_up",
+            "process_down",
+            "process_up",
+        ]
+        times = [e.time for e in injector.log]
+        assert times == sorted(times)
+        assert len(injector.log) == 4
+
+    def test_of_kind_filters_without_reordering(self, small_network):
+        sim, network, _a, _b, _c = small_network
+        injector = FaultInjector(sim, network)
+        injector.link_outage("a", "b", start=1.0, duration=0.5)
+        injector.link_outage("b", "c", start=2.0, duration=0.5)
+        injector.crash_for("b", start=1.5, duration=0.2)
+        sim.run_until_idle()
+        downs = injector.log.of_kind("link_down")
+        assert [e.target for e in downs] == ["a<->b", "b<->c"]
+        assert [e.target for e in injector.log.of_kind("process_down")] == ["b"]
+        assert injector.log.of_kind("meteor-strike") == []
+
+    def test_immediate_fault_helpers_record_and_recover(self, small_network):
+        sim, network, a, b, _c = small_network
+        injector = FaultInjector(sim, network)
+        injector.crash_now("b")
+        injector.link_down_now("a", "b")
+        assert [e.kind for e in injector.log] == ["process_down", "link_down"]
+        injector.link_up_now("a", "b")
+        injector.restart_now("b")
+        a.send("b", Message("ping"))
+        sim.run_until_idle()
+        assert [m.kind for m in b.received] == ["ping"]
+        assert injector.downtime_events() == (1, 1)
+
+
+class TestPartitionValidation:
+    def test_partition_rejects_empty_sides(self, small_network):
+        sim, network, _a, _b, _c = small_network
+        injector = FaultInjector(sim, network)
+        with pytest.raises(ValueError, match="non-empty"):
+            injector.partition([], ["a"], start=1.0, duration=1.0)
+        with pytest.raises(ValueError, match="non-empty"):
+            injector.partition(["a"], [], start=1.0, duration=1.0)
+        assert len(injector.log) == 0  # nothing was scheduled
+
+    def test_partition_rejects_overlapping_sides(self, small_network):
+        sim, network, _a, _b, _c = small_network
+        injector = FaultInjector(sim, network)
+        with pytest.raises(ValueError, match="disjoint; both contain"):
+            injector.partition(["a", "b"], ["b", "c"], start=1.0, duration=1.0)
+        sim.run_until_idle()
+        assert len(injector.log) == 0
+
+
 class TestSystemUnderFaults:
     def test_broker_link_outage_loses_only_the_outage_window(self):
         sim = Simulator()
@@ -120,6 +183,72 @@ class TestSystemUnderFaults:
         sim.run_until_idle()
         values = [d.notification["value"] for d in client.deliveries]
         assert values == [1, 2]  # publications outside the outage window still flow
+
+    @staticmethod
+    def _mobility_system():
+        sim = Simulator()
+        space = office_floor_space(n_rooms=6, rooms_per_broker=2)
+        network = line_topology(sim, 3)
+        system = MobilePubSub(sim, network, space, config=MobilitySystemConfig())
+        loc_b1 = next(l for l in space.locations if space.broker_of(l) == "B1")
+        loc_b2 = next(l for l in space.locations if space.broker_of(l) == "B2")
+        return sim, space, system, loc_b1, loc_b2
+
+    def test_handover_enters_exception_mode_when_outage_ate_the_shadow(self):
+        """``link_outage`` interleaved with attach: the lost SHADOW_CREATE
+        forces the next handover into exception (reactive) mode."""
+        sim, space, system, loc_b1, loc_b2 = self._mobility_system()
+        sensor = system.add_publisher("sensor", loc_b2)
+        client = system.add_mobile_client("alice")
+        client.subscribe_location(location_dependent({"service": "temperature"}))
+        injector = FaultInjector(sim, system.network.network)
+        # the replicator-to-replicator control link is down across the attach,
+        # so R@B1's pre-subscription SHADOW_CREATE for B2 is silently lost
+        injector.link_outage("R@B1", "R@B2", start=0.5, duration=5.0)
+        sim.schedule_at(1.0, lambda: system.attach(client, location=loc_b1))
+        sim.run_until_idle()
+
+        r2 = system.replicator_for_broker("B2")
+        assert r2.stats.exception_activations == 0
+        system.move(client, loc_b2)  # handover into the broker with no shadow
+        sim.run_until_idle()
+        assert r2.stats.exception_activations == 1
+        # exception mode is a slow path, not a dead end: deliveries resume
+        sensor.publish({"service": "temperature", "location": loc_b2, "value": 7})
+        sim.run_until_idle()
+        assert [d.notification["value"] for d in client.deliveries] == [7]
+
+    def test_handover_enters_exception_mode_when_replicator_was_crashed(self):
+        """``crash_for`` interleaved with attach: a dead target replicator
+        drops the SHADOW_CREATE, with the same exception-mode consequence."""
+        sim, space, system, loc_b1, loc_b2 = self._mobility_system()
+        sensor = system.add_publisher("sensor", loc_b2)
+        client = system.add_mobile_client("bob")
+        client.subscribe_location(location_dependent({"service": "temperature"}))
+        injector = FaultInjector(sim, system.network.network)
+        injector.crash_for("R@B2", start=0.5, duration=5.0)
+        sim.schedule_at(1.0, lambda: system.attach(client, location=loc_b1))
+        sim.run_until_idle()
+
+        r2 = system.replicator_for_broker("B2")
+        system.move(client, loc_b2)
+        sim.run_until_idle()
+        assert r2.stats.exception_activations == 1
+        sensor.publish({"service": "temperature", "location": loc_b2, "value": 9})
+        sim.run_until_idle()
+        assert [d.notification["value"] for d in client.deliveries] == [9]
+
+    def test_handover_without_faults_uses_the_shadow(self):
+        """Control run: with no fault the shadow is in place and the same
+        walk never touches exception mode."""
+        sim, space, system, loc_b1, loc_b2 = self._mobility_system()
+        client = system.add_mobile_client("carol")
+        client.subscribe_location(location_dependent({"service": "temperature"}))
+        system.attach(client, location=loc_b1)
+        sim.run_until_idle()
+        system.move(client, loc_b2)
+        sim.run_until_idle()
+        assert system.replicator_for_broker("B2").stats.exception_activations == 0
 
 
 class TestFaultInjectorDeterminism:
