@@ -1,0 +1,171 @@
+"""Soak/chaos-fuzz benchmark: seeded schedule sweeps and resource plateaus.
+
+Two sweeps, both fully deterministic per seed so ``benchmarks/compare.py``
+can gate them exactly:
+
+* **chaos_fuzz** — run a block of consecutive seeds through the
+  property-based chaos engine (:mod:`repro.pubsub.chaosgen`) per backend and
+  record the outcome under ``*_count`` keys: violations (must stay 0),
+  publications, provably-lost and replayed messages, delivered totals and
+  applied schedule events.  Every count is a pure function of the seeds, so
+  a mismatch against the committed baseline means the generator, the
+  executor or the middleware's recovery behaviour changed observably;
+* **soak** — run a fixed number of soak iterations (chaos plans plus
+  seed-drawn mobility workload members) and gate the resource plateau:
+  ``fd_growth_count`` must be exactly 0 (no leaked sockets, pipes or
+  timers across iterations) and no invariant may fire.  RSS is reported
+  under ``_kb`` keys for the human reading the JSON, never gated — but the
+  in-process routing/registry/link non-growth checks inside every iteration
+  are part of the violation count.
+
+Emits ``BENCH_soak.json`` (see ``--output``).  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_soak.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_soak.py --fast     # CI smoke
+    python benchmarks/compare.py BENCH_soak.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.pubsub.chaosgen import run_chaos_fuzz, run_soak  # noqa: E402
+
+#: seeds per backend: the sim sweep is wide, the socket backends spot-check
+#: the same leading seeds (every plan is backend-agnostic by construction).
+#: fast mode drops only whole backends, never seed counts, so its records
+#: stay comparable against the committed full-mode baseline
+FUZZ_SEEDS = {"sim": 25, "asyncio": 6, "cluster": 4}
+FAST_FUZZ_SEEDS = {"sim": 25, "cluster": 4}
+SOAK_ITERATIONS = {"sim": 6, "asyncio": 4}
+FAST_SOAK_ITERATIONS = {"sim": 6}
+
+
+def run_fuzz_sweep(backend: str, seeds: int):
+    """Fuzz ``seeds`` consecutive seeds; returns (metrics, errors)."""
+    errors = []
+    totals = {
+        "seed_count": seeds,
+        "violation_count": 0,
+        "published_count": 0,
+        "lost_count": 0,
+        "replayed_count": 0,
+        "delivered_count": 0,
+        "events_applied_count": 0,
+    }
+    started = time.perf_counter()
+    for seed in range(seeds):
+        report = run_chaos_fuzz(seed, backend=backend, shrink=False)
+        totals["violation_count"] += len(report.violations)
+        totals["published_count"] += report.result.published
+        totals["lost_count"] += report.result.lost
+        totals["replayed_count"] += report.result.replayed
+        totals["delivered_count"] += sum(len(ids) for ids in report.result.delivered.values())
+        totals["events_applied_count"] += report.result.events_applied
+        if not report.ok:
+            errors.append(f"[{backend}] {report.summary()}")
+            for violation in report.violations:
+                errors.append(f"[{backend}]   {violation}")
+    totals["wall_sec"] = time.perf_counter() - started
+    return totals, errors
+
+
+def run_soak_block(backend: str, iterations: int):
+    """Run exactly ``iterations`` soak iterations; returns (metrics, errors)."""
+    errors = []
+    result = run_soak(backend=backend, budget_sec=0.0, seed=0, min_iterations=iterations)
+    baseline = result.plateau_baseline
+    final = result.plateau_final
+    metrics = {
+        "iteration_count": result.iterations,
+        "violation_count": len(result.violations),
+        "fd_growth_count": final.get("fds", 0) - baseline.get("fds", 0),
+        "rss_baseline_kb": baseline.get("rss_kb", 0),
+        "rss_final_kb": final.get("rss_kb", 0),
+        "wall_sec": result.wall_sec,
+    }
+    if not result.ok:
+        for violation in result.violations:
+            errors.append(f"[{backend} soak] {violation}")
+        errors.append(
+            f"[{backend} soak] failing seed {result.seeds[-1]}; repro: "
+            f"repro chaos-fuzz --seed {result.seeds[-1]} --backend {backend}"
+        )
+    return metrics, errors
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true", help="reduced seed blocks for CI smoke runs")
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_soak.json"),
+    )
+    args = parser.parse_args(argv)
+
+    fuzz_plan = FAST_FUZZ_SEEDS if args.fast else FUZZ_SEEDS
+    soak_plan = FAST_SOAK_ITERATIONS if args.fast else SOAK_ITERATIONS
+    results = []
+    status = 0
+    for backend, seeds in fuzz_plan.items():
+        metrics, errors = run_fuzz_sweep(backend, seeds)
+        for error in errors:
+            print(f"ERROR: {error}", file=sys.stderr)
+            status = 1
+        results.append(
+            {
+                "sweep": "chaos_fuzz",
+                "config": {"backend": backend, "seeds": seeds},
+                "metrics": metrics,
+            }
+        )
+        print(
+            f"chaos-fuzz {backend:<8} seeds={seeds:<3} wall={metrics['wall_sec']:6.2f}s "
+            f"violations={metrics['violation_count']} "
+            f"published={metrics['published_count']} lost={metrics['lost_count']} "
+            f"replayed={metrics['replayed_count']} "
+            f"delivered={metrics['delivered_count']}"
+        )
+    for backend, iterations in soak_plan.items():
+        metrics, errors = run_soak_block(backend, iterations)
+        for error in errors:
+            print(f"ERROR: {error}", file=sys.stderr)
+            status = 1
+        results.append(
+            {
+                "sweep": "soak",
+                "config": {"backend": backend, "iterations": iterations},
+                "metrics": metrics,
+            }
+        )
+        print(
+            f"soak       {backend:<8} iters={metrics['iteration_count']:<3} "
+            f"wall={metrics['wall_sec']:6.2f}s "
+            f"violations={metrics['violation_count']} "
+            f"fd_growth={metrics['fd_growth_count']} "
+            f"rss={metrics['rss_baseline_kb']}->{metrics['rss_final_kb']}kb"
+        )
+
+    payload = {
+        "benchmark": "soak",
+        "mode": "fast" if args.fast else "full",
+        "cpu_count": os.cpu_count(),
+        "results": results,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if status == 0:
+        print("all seeds held every invariant; resource plateaus flat")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,11 @@ without writing code:
 * ``repro chaos-demo`` — run the covering-churn chaos scenario (broker
   ``kill -9`` + supervised restart, link sever/restore, replay) on a real
   backend and verify its delivered sets against the simulator baseline;
+* ``repro chaos-fuzz`` — draw seeded randomized fault schedules from the
+  property-based chaos engine, execute them with invariant checking, and
+  shrink any failing schedule to a minimal repro;
+* ``repro soak`` — loop seeded chaos scenarios under a time budget and
+  assert that fds, RSS and every routing/transport resource plateau;
 * ``repro info`` — show the system inventory: packages, experiments,
   scenarios, and the paper-to-module map.
 
@@ -142,6 +147,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_demo.add_argument(
         "--no-sever", action="store_true", help="skip the link sever/restore phases"
+    )
+    chaos_demo.add_argument(
+        "--seed", type=int, default=None,
+        help="draw the publication values from this seed instead of the pinned "
+        "storyline (the seed is printed on success and on divergence)",
+    )
+
+    chaos_fuzz = subparsers.add_parser(
+        "chaos-fuzz",
+        help="execute seeded randomized fault schedules with invariant checking and shrinking",
+    )
+    chaos_fuzz.add_argument(
+        "--seed", type=int, default=0, help="first (or only) schedule seed (default: 0)"
+    )
+    chaos_fuzz.add_argument(
+        "--seeds", type=int, default=1,
+        help="number of consecutive seeds to sweep starting at --seed (default: 1)",
+    )
+    chaos_fuzz.add_argument(
+        "--backend",
+        choices=("sim", "asyncio", "cluster"),
+        default="sim",
+        help="backend to fuzz; non-sim backends are also converged against the "
+        "simulator oracle under the identical schedule (default: sim)",
+    )
+    chaos_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without shrinking the schedule first",
+    )
+
+    soak = subparsers.add_parser(
+        "soak",
+        help="loop seeded chaos scenarios under a time budget, gating resource plateaus",
+    )
+    soak.add_argument(
+        "--backend",
+        choices=("sim", "asyncio", "cluster"),
+        default="asyncio",
+        help="backend to soak (default: asyncio — real sockets, real fds)",
+    )
+    soak.add_argument(
+        "--budget-sec", type=float, default=10.0,
+        help="time budget in seconds; at least two iterations always run (default: 10)",
+    )
+    soak.add_argument(
+        "--seed", type=int, default=0, help="seed of the first iteration (default: 0)"
     )
 
     subparsers.add_parser("info", help="show the system inventory")
@@ -359,24 +410,26 @@ def _command_chaos_demo(args: argparse.Namespace) -> int:
     """
     from .pubsub.chaos import ChaosError, run_chaos_scenario
 
-    if args.temps < 1 or args.deep < 1:
-        print("chaos-demo needs at least 1 temp and 1 deep publication", file=sys.stderr)
-        return 2
-
     kill, sever = not args.no_kill, not args.no_sever
     backends = ("sim",) if args.backend == "sim" else ("sim", args.backend)
+    seed_note = "pinned storyline" if args.seed is None else f"seed={args.seed}"
     print(
         f"chaos-demo: 3-broker covering line under chaos on {args.backend!r} "
-        f"(kill={'on' if kill else 'off'}, sever={'on' if sever else 'off'})"
+        f"(kill={'on' if kill else 'off'}, sever={'on' if sever else 'off'}, {seed_note})"
     )
     results = {}
     for backend in backends:
         try:
             result = run_chaos_scenario(
-                backend, temps=args.temps, deep=args.deep, kill=kill, sever=sever
+                backend, temps=args.temps, deep=args.deep, kill=kill, sever=sever,
+                seed=args.seed,
             )
+        except ValueError as exc:
+            # degenerate burst sizes (e.g. an empty fault window) are usage errors
+            print(f"chaos-demo: {exc}", file=sys.stderr)
+            return 2
         except ChaosError as exc:
-            print(f"chaos-demo FAILED: {exc}", file=sys.stderr)
+            print(f"chaos-demo FAILED ({seed_note}): {exc}", file=sys.stderr)
             return 1
         results[backend] = result
         wall = sum(result.phase_sec.values())
@@ -394,15 +447,89 @@ def _command_chaos_demo(args: argparse.Namespace) -> int:
         for name in sorted(baseline.delivered):
             if chaotic.delivered[name] != baseline.delivered[name]:
                 print(
-                    f"chaos-demo MISMATCH: {name} delivered {chaotic.delivered[name]} "
-                    f"on {backends[-1]!r}, {baseline.delivered[name]} on sim",
+                    f"chaos-demo MISMATCH ({seed_note}): {name} delivered "
+                    f"{chaotic.delivered[name]} on {backends[-1]!r}, "
+                    f"{baseline.delivered[name]} on sim",
                     file=sys.stderr,
                 )
         return 1
     if len(backends) > 1:
-        print("post-recovery delivered sets identical to the sim baseline: OK")
+        print(f"post-recovery delivered sets identical to the sim baseline: OK ({seed_note})")
     else:
-        print("chaos scenario invariants held: OK")
+        print(f"chaos scenario invariants held: OK ({seed_note})")
+    return 0
+
+
+def _command_chaos_fuzz(args: argparse.Namespace) -> int:
+    """Sweep seeded fault schedules through the property-based chaos engine.
+
+    Each seed deterministically draws a topology, traffic shape and fault
+    schedule; the engine executes it with invariant checking (plus a
+    sim-oracle convergence check on real backends) and shrinks any failing
+    schedule to a minimal repro.  The printed repro command replays a
+    failure byte-identically on any machine.
+    """
+    from .pubsub.chaosgen import run_chaos_fuzz
+
+    if args.seeds < 1:
+        print("chaos-fuzz needs at least 1 seed", file=sys.stderr)
+        return 2
+    print(
+        f"chaos-fuzz: {args.seeds} seed(s) starting at {args.seed} "
+        f"on {args.backend!r}"
+    )
+    failures = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        report = run_chaos_fuzz(seed, backend=args.backend, shrink=not args.no_shrink)
+        print("  " + report.summary())
+        if not report.ok:
+            failures += 1
+            for violation in report.violations:
+                print(f"    {violation}", file=sys.stderr)
+            if report.shrunk is not None:
+                shrunk = " ".join(e.describe() for e in report.shrunk.events) or "(empty)"
+                print(f"    minimal failing schedule: {shrunk}", file=sys.stderr)
+    if failures:
+        print(f"chaos-fuzz FAILED: {failures}/{args.seeds} seed(s)", file=sys.stderr)
+        return 1
+    print(f"all {args.seeds} seed(s) held every invariant: OK")
+    return 0
+
+
+def _command_soak(args: argparse.Namespace) -> int:
+    """Loop seeded chaos scenarios until the budget expires, gating plateaus.
+
+    After a warmup iteration the process-level resources (open fds, RSS) and
+    every per-scenario resource (routing tables, registries, links, timers)
+    must return to their baseline on each subsequent iteration — the soak
+    fails fast on the first leak or invariant violation, printing the seed
+    that exposed it.
+    """
+    from .pubsub.chaosgen import run_soak
+
+    if args.budget_sec <= 0:
+        print("soak needs a positive --budget-sec", file=sys.stderr)
+        return 2
+    print(f"soak: {args.backend!r} backend for ~{args.budget_sec:.0f}s, seed {args.seed}+")
+    result = run_soak(backend=args.backend, budget_sec=args.budget_sec, seed=args.seed)
+    plateau = ", ".join(
+        f"{key}={value}" for key, value in sorted(result.plateau_final.items())
+    )
+    print(
+        f"  {result.iterations} iteration(s) in {result.wall_sec:.1f}s "
+        f"(seeds {result.seeds[0]}..{result.seeds[-1]}); plateau: {plateau or 'n/a'}"
+    )
+    if not result.ok:
+        for violation in result.violations:
+            print(f"  {violation}", file=sys.stderr)
+        failing = result.seeds[-1]
+        print(
+            f"soak FAILED at seed {failing}; repro: repro chaos-fuzz --seed {failing} "
+            f"--backend {args.backend}",
+            file=sys.stderr,
+        )
+        return 1
+    print("resource plateaus held across all iterations: OK")
     return 0
 
 
@@ -439,6 +566,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_mobility_demo(args)
     if args.command == "chaos-demo":
         return _command_chaos_demo(args)
+    if args.command == "chaos-fuzz":
+        return _command_chaos_fuzz(args)
+    if args.command == "soak":
+        return _command_soak(args)
     if args.command == "info":
         return _command_info()
     parser.print_help()

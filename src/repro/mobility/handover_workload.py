@@ -31,9 +31,10 @@ chain adjacency, so the NLB movement graph is the line itself):
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.location import LocationSpace
 from ..core.location_filter import MYLOC, location_dependent
@@ -42,6 +43,57 @@ from ..core.mobile_client import MobileClient
 from ..pubsub.broker_network import line_topology
 from ..pubsub.filters import Equals, Filter
 from ..pubsub.notification import Notification
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The scenario family the fixed handover workload generalises into.
+
+    The legacy storyline is the all-defaults member: one walker, one
+    commuter, deterministic walk order, no churn, no spikes — and with
+    ``seed=None`` the RNG is *never constructed*, so the default spec is
+    byte-identical to the historical fixed workload (its pinned delivery
+    multisets are regression-locked by the mobility tests and
+    ``BENCH_mobility``).  A non-``None`` seed turns every knob into a draw:
+    walk order becomes a random walk over the location adjacency (randomized
+    handover interleavings), extra walkers/commuters roam concurrently,
+    ``churn_rate`` toggles the walkers' location-independent ``alerts``
+    subscription between phases (covering churn across handovers), and
+    ``spike_rate``/``spike_factor`` multiply publish phases.  Everything is
+    a pure function of the seed, so any cross-backend divergence found in CI
+    is replayable from the seed alone.
+    """
+
+    brokers: int = 3
+    publishes_per_phase: int = 4
+    predictor: str = "nlb"
+    connect_latency: float = 0.01
+    walkers: int = 1
+    commuters: int = 1
+    churn_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_factor: int = 3
+    seed: Optional[int] = None
+
+    @property
+    def randomized(self) -> bool:
+        return self.seed is not None
+
+    @classmethod
+    def draw(cls, seed: int) -> "WorkloadSpec":
+        """Draw a spec from ``seed`` — deterministically, any machine."""
+        rng = random.Random(seed)
+        return cls(
+            brokers=rng.randint(3, 5),
+            publishes_per_phase=rng.randint(2, 4),
+            predictor=rng.choice(("nlb", "nlb-2", "flooding")),
+            walkers=rng.randint(1, 2),
+            commuters=rng.randint(1, 2),
+            churn_rate=rng.choice((0.0, 0.25, 0.5)),
+            spike_rate=rng.choice((0.0, 0.25)),
+            spike_factor=rng.randint(2, 3),
+            seed=seed,
+        )
 
 
 @dataclass
@@ -75,6 +127,8 @@ class HandoverWorkloadResult:
     shadows_created: int = 0
     control_messages: int = 0
     subscription_messages: int = 0
+    #: the spec seed this run replayed (None = the legacy fixed scenario)
+    seed: Optional[int] = None
 
     def delivered_map(self) -> Dict[str, List[Tuple[int, bool]]]:
         """Per-client delivered multisets, the cross-backend invariant."""
@@ -106,15 +160,30 @@ def run_handover_workload(
     publishes_per_phase: int = 4,
     predictor: str = "nlb",
     connect_latency: float = 0.01,
+    spec: Optional[WorkloadSpec] = None,
 ) -> HandoverWorkloadResult:
-    """Run the fixed handover scenario on one backend and collect the outcome.
+    """Run one member of the handover scenario family on one backend.
 
-    Every notification id is pinned explicitly, every phase runs to exact
-    quiescence, and every mutation of the subscription state happens between
-    phases — which is what makes the delivered multisets backend-invariant.
+    With ``spec=None`` (or the default :class:`WorkloadSpec`) this is the
+    historical fixed scenario, operation for operation.  A ``spec`` with a
+    seed replays the drawn member deterministically: every notification id
+    is pinned, every phase runs to exact quiescence, and every mutation of
+    the subscription state happens between phases — which is what makes the
+    delivered multisets backend-invariant for *any* member of the family.
     """
+    if spec is None:
+        spec = WorkloadSpec(
+            brokers=brokers,
+            publishes_per_phase=publishes_per_phase,
+            predictor=predictor,
+            connect_latency=connect_latency,
+        )
+    brokers, publishes_per_phase = spec.brokers, spec.publishes_per_phase
     if brokers < 3:
         raise ValueError("the handover workload needs at least 3 brokers")
+    # the RNG only exists for randomized specs: the legacy default must not
+    # consult it anywhere, so its pinned multisets stay byte-identical
+    rng = random.Random(spec.seed) if spec.randomized else None
     locations = [f"l{i + 1}" for i in range(brokers)]
     sim_backend = backend == "sim"
     net = line_topology(
@@ -125,26 +194,43 @@ def run_handover_workload(
         link_latency=0.001 if sim_backend else 0.0,
     )
     config = MobilitySystemConfig(
-        predictor=predictor,
-        connect_latency=connect_latency,
+        predictor=spec.predictor,
+        connect_latency=spec.connect_latency,
         wireless_latency=0.002 if sim_backend else 0.0,
     )
     space = _line_space(brokers)
     started = time.perf_counter()
     system = MobilePubSub(None, net, space, config=config)
     result = HandoverWorkloadResult(
-        backend=backend, brokers=brokers, publishes_per_phase=publishes_per_phase
+        backend=backend,
+        brokers=brokers,
+        publishes_per_phase=publishes_per_phase,
+        seed=spec.seed,
     )
     try:
-        walker = system.add_mobile_client("m-walk")
-        walker.subscribe_location(
-            location_dependent({"service": "news", "location": MYLOC}), template_id="t-walk"
-        )
-        walker.subscribe(Filter([Equals("service", "alerts")]), sub_id="p-alerts")
-        commuter = system.add_mobile_client("m-commute")
-        commuter.subscribe_location(
-            location_dependent({"service": "news", "location": MYLOC}), template_id="t-commute"
-        )
+        walkers: List[MobileClient] = []
+        alerts_state: Dict[str, Tuple[bool, int]] = {}  # name -> (subscribed, serial)
+        for index in range(spec.walkers):
+            suffix = "" if index == 0 else str(index + 1)
+            walker = system.add_mobile_client(f"m-walk{suffix}")
+            walker.subscribe_location(
+                location_dependent({"service": "news", "location": MYLOC}),
+                template_id=f"t-walk{suffix}",
+            )
+            walker.subscribe(
+                Filter([Equals("service", "alerts")]), sub_id=f"p-alerts{suffix}-0"
+            )
+            alerts_state[walker.name] = (True, 0)
+            walkers.append(walker)
+        commuters: List[MobileClient] = []
+        for index in range(spec.commuters):
+            suffix = "" if index == 0 else str(index + 1)
+            commuter = system.add_mobile_client(f"m-commute{suffix}")
+            commuter.subscribe_location(
+                location_dependent({"service": "news", "location": MYLOC}),
+                template_id=f"t-commute{suffix}",
+            )
+            commuters.append(commuter)
         publishers = {
             location: system.add_publisher(f"pub-{location}", location) for location in locations
         }
@@ -153,8 +239,11 @@ def run_handover_workload(
         next_id = [10_000]
 
         def publish_phase() -> None:
+            count = publishes_per_phase
+            if rng is not None and rng.random() < spec.spike_rate:
+                count *= spec.spike_factor
             for location in locations:
-                for seq in range(publishes_per_phase):
+                for seq in range(count):
                     next_id[0] += 1
                     publishers[location].publish(
                         Notification(
@@ -166,35 +255,68 @@ def run_handover_workload(
             alert_publisher.publish(
                 Notification({"service": "alerts", "level": 1}, notification_id=next_id[0])
             )
-            result.published += brokers * publishes_per_phase + 1
+            result.published += brokers * count + 1
             system.run_until_idle()
 
-        system.attach(walker, location=locations[0])
-        system.attach(commuter, location=locations[1])
+        def churn_alerts(walker: MobileClient) -> None:
+            subscribed, serial = alerts_state[walker.name]
+            suffix = "" if walker is walkers[0] else str(walkers.index(walker) + 1)
+            if subscribed:
+                walker.unsubscribe(f"p-alerts{suffix}-{serial}")
+            else:
+                serial += 1
+                walker.subscribe(
+                    Filter([Equals("service", "alerts")]), sub_id=f"p-alerts{suffix}-{serial}"
+                )
+            alerts_state[walker.name] = (not subscribed, serial)
+
+        walker_at: Dict[str, str] = {}
+        for walker in walkers:
+            system.attach(walker, location=locations[0])
+            walker_at[walker.name] = locations[0]
+        commuter_homes: Dict[str, List[str]] = {}
+        for index, commuter in enumerate(commuters):
+            homes = [locations[(index + 1) % brokers], locations[index % brokers]]
+            system.attach(commuter, location=homes[0])
+            commuter_homes[commuter.name] = homes
         system.run_until_idle()
         publish_phase()
 
-        # the walk: one handover per line segment, the commuter toggling
-        # between its two home locations on every step
-        commuter_home = [locations[1], locations[0]]
-        for step, target in enumerate(locations[1:]):
-            system.move(walker, target)
-            system.move(commuter, commuter_home[(step + 1) % 2])
+        # the walk: one handover per line segment — in fixed order for the
+        # legacy scenario, a seeded random walk over the location adjacency
+        # for drawn specs — with every commuter toggling between its two
+        # home locations on every step
+        for step in range(brokers - 1):
+            for walker in walkers:
+                if rng is None:
+                    target = locations[step + 1]
+                else:
+                    target = rng.choice(sorted(space.neighbours_of(walker_at[walker.name])))
+                system.move(walker, target)
+                walker_at[walker.name] = target
+            for commuter in commuters:
+                homes = commuter_homes[commuter.name]
+                system.move(commuter, homes[(step + 1) % 2])
+            if rng is not None:
+                for walker in walkers:
+                    if rng.random() < spec.churn_rate:
+                        churn_alerts(walker)
             system.run_until_idle()
             publish_phase()
 
-        # power off at the end of the line, miss a phase, reappear at l1 —
-        # a non-neighbouring broker, so this goes through the Sect. 4
-        # exception mode (handover request/reply salvages the buffered past)
-        system.power_off(walker)
+        # power off at the end of the walk, miss a phase, reappear at l1 —
+        # for the legacy walker a non-neighbouring broker, so this goes
+        # through the Sect. 4 exception mode (handover request/reply
+        # salvages the buffered past)
+        system.power_off(walkers[0])
         system.run_until_idle()
         publish_phase()
-        system.power_on(walker, locations[0])
+        system.power_on(walkers[0], locations[0])
         system.run_until_idle()
         publish_phase()
 
         result.wall_sec = time.perf_counter() - started
-        for client in (walker, commuter):
+        for client in walkers + commuters:
             result.clients.append(_outcome_of(client))
         result.handovers = sum(r.stats.handovers for r in system.replicators.values())
         result.exception_activations = sum(
@@ -228,15 +350,22 @@ def cross_check_backends(
     brokers: int = 3,
     publishes_per_phase: int = 4,
     predictor: str = "nlb",
+    spec: Optional[WorkloadSpec] = None,
 ) -> Tuple[Dict[str, HandoverWorkloadResult], List[str]]:
-    """Run the workload on every backend and diff the delivered multisets.
+    """Run one family member on every backend and diff the delivered multisets.
 
     Returns the per-backend results and a (hopefully empty) list of
-    mismatch descriptions; the first backend is the reference.
+    mismatch descriptions; the first backend is the reference.  Pass a drawn
+    :class:`WorkloadSpec` to cross-check a randomized member instead of the
+    legacy fixed scenario.
     """
     results = {
         backend: run_handover_workload(
-            backend, brokers=brokers, publishes_per_phase=publishes_per_phase, predictor=predictor
+            backend,
+            brokers=brokers,
+            publishes_per_phase=publishes_per_phase,
+            predictor=predictor,
+            spec=spec,
         )
         for backend in backends
     }

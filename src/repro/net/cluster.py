@@ -193,6 +193,10 @@ class _BrokerNode:
         self._writers: List[asyncio.StreamWriter] = []
         self._tasks: List[asyncio.Task] = []
         self._server: Optional[asyncio.AbstractServer] = None
+        # dial-retry jitter comes from a private, name-seeded RNG: broker
+        # children must never mutate the module-level ``random`` state (the
+        # chaos fuzzer's seeded schedules rely on nobody sharing that dice)
+        self._rng = random.Random(f"dial-jitter:{self.name}")
 
     def _fail(self, exc: BaseException) -> None:
         if self.failure is None:
@@ -322,7 +326,7 @@ class _BrokerNode:
                         f"{self.name}: could not connect to {peer!r} at {address} "
                         f"within {self.LINK_SETUP_TIMEOUT}s: {exc}"
                     )
-                await asyncio.sleep(pause + random.uniform(0.0, pause / 4))
+                await asyncio.sleep(pause + self._rng.uniform(0.0, pause / 4))
                 pause = min(pause * 2, self.DIAL_RETRY_CAP)
         handshake = {"peer": self.name, "kind": "broker"}
         if resync:
@@ -896,6 +900,7 @@ class ClusterTransport(Transport):
             endpoint = self._local[client_name].links.get(name)
             if isinstance(endpoint, _RemoteEndpoint):
                 endpoint.writer.close()
+        self._prune_dead_io()
 
     def restart_broker(self, name: str) -> None:
         """Supervised restart of a killed broker: respawn, re-link, re-sync.
@@ -927,6 +932,21 @@ class ClusterTransport(Transport):
                 client.connect_to(name, reissue=True)
                 self.recovery["client_resubscribes"] += len(client.subscriptions)
         self._flush_local()
+        self._prune_dead_io()
+
+    def _prune_dead_io(self) -> None:
+        """Drop closed client writers and finished reader tasks.
+
+        Every kill/restart cycle closes the dead broker's client sockets and
+        attaches fresh ones; without pruning, ``_client_writers`` and
+        ``_reader_tasks`` grow by one entry per cycle for the lifetime of
+        the cluster — exactly the leak class the soak harness gates via
+        :meth:`resource_sizes`.
+        """
+        self._client_writers = [
+            writer for writer in self._client_writers if not writer.is_closing()
+        ]
+        self._reader_tasks = [task for task in self._reader_tasks if not task.done()]
 
     def _neighbors_of(self, name: str) -> List[str]:
         """Broker peers reachable over currently-up edges (for re-dialling)."""
@@ -1088,6 +1108,26 @@ class ClusterTransport(Transport):
     def _require_open(self) -> None:
         if self._closed:
             raise ClusterError("cluster transport is closed")
+
+    def resource_sizes(self) -> Dict[str, int]:
+        """Parent-side resource sizes; kill/restart cycles must not grow them.
+
+        Client writers and reader tasks are pruned first (a dead broker's
+        sockets finish closing asynchronously), so a quiesced snapshot after
+        a recovery cycle is directly comparable to the pre-fault baseline —
+        the soak harness's non-growth gate on the cluster backend.
+        """
+        self._prune_dead_io()
+        live_children = sum(1 for child in self._children.values() if child.poll() is None)
+        return {
+            "links": len(self.links),
+            "client_writers": len(self._client_writers),
+            "reader_tasks": len(self._reader_tasks),
+            "registry_entries": len(self.registry.registered),
+            "registry_disconnected": len(self.registry.disconnected),
+            "live_children": live_children,
+            "pending_timers": self._clock.pending_timers,
+        }
 
     # ----------------------------------------------------------------- closing
     def close(self) -> None:

@@ -23,6 +23,7 @@ link severing (see :mod:`repro.net.cluster`).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -64,13 +65,32 @@ class FaultInjector:
 
     All methods accept absolute simulated times; scheduling in the past
     raises (through the simulator), which keeps experiment scripts honest.
+
+    Randomized fault decisions (the chaos fuzzer's flap repetitions, jittered
+    schedules) draw from :attr:`rng`, a *private* ``random.Random(seed)`` —
+    never the module-level ``random`` — so two injectors with the same seed
+    make bit-identical draws regardless of what the rest of the process does
+    with the global RNG.  :meth:`snapshot`/:meth:`restore` expose the RNG
+    state so a shrinking run can replay a schedule suffix exactly as the
+    original run drew it.
     """
 
-    def __init__(self, sim: Simulator, network: Network):
+    def __init__(self, sim: Simulator, network: Network, seed: Optional[int] = None):
         self.sim = sim
         self.network = network
         self.transport = network.transport
         self.log = FaultLog()
+        #: private seeded RNG; all randomized fault decisions come from here
+        self.rng = random.Random(seed)
+
+    # ------------------------------------------------------------------- rng
+    def snapshot(self) -> object:
+        """Capture the private RNG state (for deterministic suffix replay)."""
+        return self.rng.getstate()
+
+    def restore(self, state: object) -> None:
+        """Rewind the private RNG to a state from :meth:`snapshot`."""
+        self.rng.setstate(state)
 
     # ------------------------------------------------------------------ links
     def link_outage(self, a: str, b: str, start: float, duration: float) -> None:

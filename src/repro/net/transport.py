@@ -200,6 +200,18 @@ class Transport(ABC):
         connections the link held so handover churn does not leak sockets.
         """
 
+    def resource_sizes(self) -> Dict[str, int]:
+        """Sizes of the substrate resources this transport currently holds.
+
+        The observability half of the fault plane: after a fault/recovery
+        cycle has fully quiesced, every size reported here must be back at
+        its pre-fault baseline — the non-growth invariant gated by the chaos
+        fuzzer and soak harness (:mod:`repro.pubsub.invariants`).  Backends
+        report whatever they actually allocate (links, servers, timers,
+        writers, registry entries); the base transport holds nothing.
+        """
+        return {}
+
     def build_broker(
         self,
         name: str,
@@ -276,6 +288,11 @@ class SimTransport(Transport):
 
     def run_until_idle(self) -> float:
         return self.sim.run_until_idle()
+
+    def resource_sizes(self) -> Dict[str, int]:
+        # the simulator holds no sockets; pending events are its only
+        # resource, and a quiesced simulator must have drained them all
+        return {"pending_events": self.sim.pending}
 
 
 # -------------------------------------------------------------------- asyncio
@@ -795,6 +812,28 @@ class AsyncioTransport(Transport):
     def _require_open(self) -> None:
         if self._closed:
             raise TransportError("transport is closed")
+
+    def resource_sizes(self) -> Dict[str, int]:
+        """Live socket resources; handover/fault churn must not grow them.
+
+        ``open_writers`` counts the directed endpoints whose TCP writer is
+        still open — a closed dynamic link that left its writers behind
+        shows up here even after the link itself was dropped from the
+        registry.
+        """
+        open_writers = sum(
+            1
+            for link in self._links.values()
+            for endpoint in (link._a_to_b, link._b_to_a)
+            if endpoint._writer is not None and not endpoint._writer.is_closing()
+        )
+        return {
+            "links": len(self._links),
+            "servers": len(self._servers),
+            "pending_timers": self._clock.pending_timers,
+            "open_writers": open_writers,
+            "inflight_frames": self._inflight,
+        }
 
     # ----------------------------------------------------------------- closing
     def close(self) -> None:

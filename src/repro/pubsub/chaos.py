@@ -30,9 +30,10 @@ across all three, which is the cross-backend convergence assertion of
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..net.faults import FaultInjector
 from .broker_network import line_topology
@@ -71,6 +72,9 @@ class ChaosResult:
     recovery: Dict[str, int] = field(default_factory=dict)
     #: wall-clock seconds per phase (reporting only, never gated)
     phase_sec: Dict[str, float] = field(default_factory=dict)
+    #: the seed that drew this run's publication values (None = the pinned
+    #: storyline values); always reported so a failing log is replayable
+    seed: Optional[int] = None
 
     def delivered_total(self) -> int:
         return sum(len(ids) for ids in self.delivered.values())
@@ -82,13 +86,29 @@ def run_chaos_scenario(
     deep: int = 4,
     kill: bool = True,
     sever: bool = True,
+    seed: Optional[int] = None,
 ) -> ChaosResult:
     """Run the chaos storyline on ``backend`` and return its metrics.
 
     ``temps``/``deep`` size the publication bursts; ``kill``/``sever``
     toggle the crash-recovery and link-sever phases (both on by default).
-    Raises :class:`ChaosError` as soon as any invariant breaks.
+    ``seed`` draws the temperature values from a private ``Random(seed)``
+    instead of the pinned storyline values — same seed, same values, on any
+    backend — so CI can vary the scenario while staying replayable from the
+    logged seed alone.  Raises :class:`ChaosError` as soon as any invariant
+    breaks, and :class:`ValueError` for degenerate burst sizes: a
+    zero-length fault window would make the "publications provably lost"
+    checks pass vacuously, so it is rejected up front.
     """
+    if temps < 2:
+        raise ValueError(
+            f"chaos scenario needs temps >= 2 (one in-range, one out-of-range value), got {temps}"
+        )
+    if deep < 1 and (kill or sever):
+        raise ValueError(
+            f"chaos scenario needs a non-empty fault window: deep >= 1, got {deep} "
+            "(a zero-length window would pass the provable-loss checks vacuously)"
+        )
     net = line_topology(n_brokers=3, routing="covering", transport=backend)
     phase_sec: Dict[str, float] = {}
     try:
@@ -104,7 +124,18 @@ def run_chaos_scenario(
         net.run_until_idle()
         injector = FaultInjector(net.sim, net.network)
 
-        temp_values = [5 + 5 * i for i in range(temps)]
+        if seed is None:
+            temp_values = [5 + 5 * i for i in range(temps)]
+        else:
+            # Draw from a private Random(seed) so the values are replayable
+            # from the seed alone.  Pin one value inside and one outside the
+            # covered Range(10, 30) so neither covering check is vacuous.
+            rng = random.Random(seed)
+            temp_values = [rng.randrange(-20, 80) for _ in range(temps)]
+            temp_values[rng.randrange(temps)] = rng.randrange(10, 31)
+            outside = rng.choice([rng.randrange(-20, 10), rng.randrange(31, 80)])
+            candidates = [i for i, value in enumerate(temp_values) if not 10 <= value <= 30]
+            temp_values[candidates[0] if candidates else 0] = outside
         in_range = tuple(
             TEMP_BASE + i for i, value in enumerate(temp_values) if 10 <= value <= 30
         )
@@ -219,6 +250,7 @@ def run_chaos_scenario(
             resync_forwards=sum(stats.get("resync_forwards", 0) for stats in broker_stats),
             recovery=dict(getattr(net.transport, "recovery", {})),
             phase_sec=phase_sec,
+            seed=seed,
         )
     finally:
         net.close()
