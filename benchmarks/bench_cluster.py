@@ -14,6 +14,11 @@ the aggregate work grows with the broker count.  The same workload runs on:
   (pipelined along the line), and each child's receive path is a tight
   synchronous loop instead of a per-frame coroutine.
 
+Both backends run once per wire codec (``--codec``, default both): the
+tagged-JSON reference codec and the interned-string binary codec, so the
+committed baseline records how the cluster-vs-asyncio comparison shifts when
+serialization stops dominating.
+
 Every run verifies each subscriber received exactly ``notifications``
 deliveries — the benchmark doubles as an integration gate and exits non-zero
 on any miss or on any broker child exiting non-zero.
@@ -52,15 +57,15 @@ from repro.pubsub.filters import Equals, Filter  # noqa: E402
 from repro.pubsub.notification import Notification  # noqa: E402
 
 
-def run_fanout(backend: str, brokers: int, fanout: int, notifications: int):
-    """Run the fan-out workload on one backend.
+def run_fanout(backend: str, brokers: int, fanout: int, notifications: int, codec: str = "json"):
+    """Run the fan-out workload on one backend under one wire codec.
 
     Returns ``(metrics, mismatches)``; a cluster broker child exiting
     non-zero raises ``SystemExit`` instead.  The publish wall time excludes
     topology boot (process spawning is a deployment cost, not a routing
     cost) but includes the drain to quiescence.
     """
-    net = line_topology(n_brokers=brokers, transport=backend, link_latency=0.0)
+    net = line_topology(n_brokers=brokers, transport=backend, link_latency=0.0, codec=codec)
     child_failures = {}
     try:
         subscribers = []
@@ -89,6 +94,8 @@ def run_fanout(backend: str, brokers: int, fanout: int, notifications: int):
             "wall_sec": wall,
             "throughput_ops_per_sec": delivered / wall if wall > 0 else 0.0,
             "delivered_fraction": delivered / expected if expected else 1.0,
+            "delivered_count": delivered,
+            "expected_count": expected,
         }
         return metrics, mismatches
     finally:
@@ -119,6 +126,12 @@ def main(argv=None) -> int:
         "headline config (used when regenerating the committed baseline)",
     )
     parser.add_argument(
+        "--codec",
+        choices=("json", "binary", "both"),
+        default="both",
+        help="wire codec(s) to sweep (default: both)",
+    )
+    parser.add_argument(
         "--output",
         "-o",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_cluster.json"),
@@ -131,61 +144,69 @@ def main(argv=None) -> int:
     if not args.fast:
         configs.append((2, 3, 1200))
 
+    codecs = ("json", "binary") if args.codec == "both" else (args.codec,)
     results = []
     status = 0
     for brokers, fanout, notifications in configs:
-        throughput = {}
-        for backend in ("asyncio", "cluster"):
-            metrics = None
-            best = -1.0
-            for _ in range(max(1, args.repeat)):
-                candidate, mismatches = run_fanout(backend, brokers, fanout, notifications)
-                if mismatches:
-                    print(
-                        f"ERROR: {mismatches} subscriber(s) missed notifications "
-                        f"(backend={backend}, brokers={brokers}, fanout={fanout})",
-                        file=sys.stderr,
+        for codec in codecs:
+            throughput = {}
+            for backend in ("asyncio", "cluster"):
+                metrics = None
+                best = -1.0
+                for _ in range(max(1, args.repeat)):
+                    candidate, mismatches = run_fanout(
+                        backend, brokers, fanout, notifications, codec=codec
                     )
-                    status = 1
-                if candidate["throughput_ops_per_sec"] > best:
-                    best = candidate["throughput_ops_per_sec"]
-                    metrics = candidate
-            throughput[backend] = metrics["throughput_ops_per_sec"]
-            if backend == "cluster" and throughput["asyncio"] > 0:
-                metrics["speedup_vs_asyncio"] = throughput["cluster"] / throughput["asyncio"]
-            results.append(
-                {
-                    "sweep": "cluster",
-                    "config": {
-                        "backend": backend,
-                        "brokers": brokers,
-                        "fanout": fanout,
-                        "notifications": notifications,
-                    },
-                    "metrics": metrics,
-                }
-            )
-            note = ""
-            if "speedup_vs_asyncio" in metrics:
-                note = f"  speedup_vs_asyncio={metrics['speedup_vs_asyncio']:.2f}x"
-            print(
-                f"cluster {backend:<8} brokers={brokers} fanout={fanout} n={notifications:<6} "
-                f"wall={metrics['wall_sec']:7.3f}s "
-                f"({metrics['throughput_ops_per_sec']:9.0f} deliveries/s) "
-                f"delivered={metrics['delivered_fraction']:.3f}{note}"
-            )
-        if (
-            args.require_speedup
-            and (brokers, fanout, notifications) == HEADLINE
-            and throughput["cluster"] <= throughput["asyncio"]
-        ):
-            print(
-                f"ERROR: cluster ({throughput['cluster']:.0f}/s) did not beat "
-                f"single-process asyncio ({throughput['asyncio']:.0f}/s) on the "
-                f"headline config brokers={brokers}, fanout={fanout}",
-                file=sys.stderr,
-            )
-            status = 1
+                    if mismatches:
+                        print(
+                            f"ERROR: {mismatches} subscriber(s) missed notifications "
+                            f"(backend={backend}, codec={codec}, brokers={brokers}, "
+                            f"fanout={fanout})",
+                            file=sys.stderr,
+                        )
+                        status = 1
+                    if candidate["throughput_ops_per_sec"] > best:
+                        best = candidate["throughput_ops_per_sec"]
+                        metrics = candidate
+                throughput[backend] = metrics["throughput_ops_per_sec"]
+                if backend == "cluster" and throughput["asyncio"] > 0:
+                    metrics["speedup_vs_asyncio"] = throughput["cluster"] / throughput["asyncio"]
+                results.append(
+                    {
+                        "sweep": "cluster",
+                        "config": {
+                            "backend": backend,
+                            "brokers": brokers,
+                            "fanout": fanout,
+                            "notifications": notifications,
+                            "codec": codec,
+                        },
+                        "metrics": metrics,
+                    }
+                )
+                note = ""
+                if "speedup_vs_asyncio" in metrics:
+                    note = f"  speedup_vs_asyncio={metrics['speedup_vs_asyncio']:.2f}x"
+                print(
+                    f"cluster {backend:<8} codec={codec:<7} brokers={brokers} "
+                    f"fanout={fanout} n={notifications:<6} "
+                    f"wall={metrics['wall_sec']:7.3f}s "
+                    f"({metrics['throughput_ops_per_sec']:9.0f} deliveries/s) "
+                    f"delivered={metrics['delivered_fraction']:.3f}{note}"
+                )
+            if (
+                args.require_speedup
+                and codec == "json"
+                and (brokers, fanout, notifications) == HEADLINE
+                and throughput["cluster"] <= throughput["asyncio"]
+            ):
+                print(
+                    f"ERROR: cluster ({throughput['cluster']:.0f}/s) did not beat "
+                    f"single-process asyncio ({throughput['asyncio']:.0f}/s) on the "
+                    f"headline config brokers={brokers}, fanout={fanout}",
+                    file=sys.stderr,
+                )
+                status = 1
 
     payload = {
         "benchmark": "cluster",

@@ -200,6 +200,62 @@ def assert_cheapest_first_probe_order() -> None:
     print("probe-order micro-assert: ok")
 
 
+def assert_wire_fragment_caches() -> None:
+    """Micro-assert: domain wire fragments are cached once per codec.
+
+    Filters, subscriptions and notifications are immutable, so their wire
+    fragments are memoized on the object — one slot per codec.  Encoding the
+    same payload twice under the same codec must return a byte-identical
+    frame *via the cache* (the second encode reuses the stored fragment
+    object), and encoding under the other codec must fill its own slot
+    without disturbing the first: the caches are keyed per codec, never
+    shared.
+    """
+    from repro.net.process import Message
+    from repro.net.wire import BINARY_CODEC, JSON_CODEC
+
+    filt = Filter([Equals("service", "svc-0"), Range("value", 0, 100)])
+    sub = Subscription(sub_id="s-cache", filter=filt, subscriber="c1")
+    notif = Notification({"topic": "bench", "value": 7, "pad": "x" * 8})
+    json_slots = {Filter: "_wire_json", Subscription: "_wire_json", Notification: "_wire"}
+
+    for payload in (filt, sub, notif):
+        json_slot = json_slots[type(payload)]
+        lookup = (
+            (lambda o, s: o.__dict__.get(s))
+            if isinstance(payload, Subscription)  # frozen dataclass, no slots
+            else getattr
+        )
+        assert lookup(payload, json_slot) is None, f"{payload!r}: stale json cache"
+        assert lookup(payload, "_wire_bin") is None, f"{payload!r}: stale binary cache"
+
+        message = Message(kind="publish", payload=payload, sender="bench")
+        JSON_CODEC.frame_message(message)
+        json_frag = lookup(payload, json_slot)
+        assert json_frag is not None, f"{type(payload).__name__}: json fragment not cached"
+        assert lookup(payload, "_wire_bin") is None, (
+            f"{type(payload).__name__}: json encode touched the binary slot"
+        )
+
+        BINARY_CODEC.frame_message(message)
+        bin_frag = lookup(payload, "_wire_bin")
+        assert bin_frag is not None, f"{type(payload).__name__}: binary fragment not cached"
+        assert isinstance(bin_frag, bytes) and isinstance(json_frag, str), (
+            f"{type(payload).__name__}: codec caches collided"
+        )
+
+        # re-encodes must *hit* the caches: same fragment object, not a rebuild
+        JSON_CODEC.frame_message(Message(kind="publish", payload=payload, sender="bench"))
+        BINARY_CODEC.frame_message(Message(kind="publish", payload=payload, sender="bench"))
+        assert lookup(payload, json_slot) is json_frag, (
+            f"{type(payload).__name__}: json re-encode rebuilt the fragment"
+        )
+        assert lookup(payload, "_wire_bin") is bin_frag, (
+            f"{type(payload).__name__}: binary re-encode rebuilt the fragment"
+        )
+    print("wire-fragment cache micro-assert: ok")
+
+
 # -------------------------------------------------------------------- driver
 
 
@@ -207,7 +263,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fast", action="store_true", help="small sweep for CI smoke runs")
     parser.add_argument(
-        "--output", "-o",
+        "--output",
+        "-o",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_covering.json"),
     )
     args = parser.parse_args(argv)
@@ -215,6 +272,7 @@ def main(argv=None) -> int:
     strategies = ("identity", "covering", "merging")
     if args.fast:
         assert_cheapest_first_probe_order()
+        assert_wire_fragment_caches()
         churn_configs = [(s, 1000, 4, True) for s in strategies]
         range_configs = [(4, 1000)]
         # same notification count as the full sweep: the record shares its

@@ -12,7 +12,10 @@ records what the paper's experiments care about, per backend:
 
 Every config doubles as an integration gate: the delivered
 ``(notification, replayed)`` multisets of both backends are cross-checked
-and the benchmark exits non-zero on any divergence.
+and the benchmark exits non-zero on any divergence.  The asyncio backend
+runs once per wire codec (``json`` and ``binary``) and is cross-checked
+against the sim reference under each, so the exact-gated outcome counts are
+verified to be codec-independent.
 
 Emits ``BENCH_mobility.json`` (see ``--output``), consumable by
 ``benchmarks/compare.py``.  All wall-clock metrics are stored under
@@ -46,56 +49,72 @@ def _percentile(values, p: float) -> float:
     return values[min(len(values) - 1, int(p * len(values)))]
 
 
+def _metrics(result) -> dict:
+    latencies = result.all_handover_latencies()
+    # *_count metrics are deterministic outcomes of the phase-quiesced
+    # workload (identical on both backends, both codecs and every machine),
+    # so compare.py gates them for EXACT equality against the baseline;
+    # wall/latency metrics live under *_sec keys it ignores
+    return {
+        "wall_sec": result.wall_sec,
+        "handover_p50_sec": _percentile(latencies, 0.50),
+        "handover_p95_sec": _percentile(latencies, 0.95),
+        "published_count": result.published,
+        "delivered_count": result.delivered_total(),
+        "live_count": sum(c.live for c in result.clients),
+        "replayed_count": sum(c.replayed for c in result.clients),
+        "handover_count": result.handovers,
+        "shadow_count": result.shadows_created,
+        "exception_count": result.exception_activations,
+        "control_message_count": result.control_messages,
+    }
+
+
 def run_config(brokers: int, publishes: int):
-    """Cross-check one config on both backends; returns (records, mismatches)."""
-    results, mismatches = cross_check_backends(
-        backends=("sim", "asyncio"), brokers=brokers, publishes_per_phase=publishes
-    )
+    """Cross-check one config per wire codec; returns (records, mismatches).
+
+    The asyncio backend runs once per codec and is cross-checked against the
+    sim reference each time, so the exact-gated ``*_count`` outcomes are
+    verified to be codec-independent.  The sim backend never serializes, so
+    its single record carries no codec key.
+    """
     records = []
-    for backend in ("sim", "asyncio"):
-        result = results[backend]
-        latencies = result.all_handover_latencies()
-        # *_count metrics are deterministic outcomes of the phase-quiesced
-        # workload (identical on both backends and on every machine), so
-        # compare.py gates them for EXACT equality against the baseline;
-        # wall/latency metrics live under *_sec keys it ignores
-        metrics = {
-            "wall_sec": result.wall_sec,
-            "handover_p50_sec": _percentile(latencies, 0.50),
-            "handover_p95_sec": _percentile(latencies, 0.95),
-            "published_count": result.published,
-            "delivered_count": result.delivered_total(),
-            "live_count": sum(c.live for c in result.clients),
-            "replayed_count": sum(c.replayed for c in result.clients),
-            "handover_count": result.handovers,
-            "shadow_count": result.shadows_created,
-            "exception_count": result.exception_activations,
-            "control_message_count": result.control_messages,
-        }
-        records.append(
-            {
-                "sweep": "mobility",
-                "config": {"backend": backend, "brokers": brokers, "publishes": publishes},
-                "metrics": metrics,
-            }
+    all_mismatches = []
+    for codec in ("json", "binary"):
+        results, mismatches = cross_check_backends(
+            backends=("sim", "asyncio"),
+            brokers=brokers,
+            publishes_per_phase=publishes,
+            codec=codec,
         )
-        m = metrics
-        print(
-            f"mobility {backend:<8} brokers={brokers} pub/phase={publishes:<3} "
-            f"wall={m['wall_sec']:6.2f}s "
-            f"handover p50={m['handover_p50_sec'] * 1000:6.2f}ms "
-            f"p95={m['handover_p95_sec'] * 1000:6.2f}ms "
-            f"live={m['live_count']:<4} replayed={m['replayed_count']:<4} "
-            f"control={m['control_message_count']}"
-        )
-    return records, mismatches
+        all_mismatches.extend(f"codec={codec}: {m}" for m in mismatches)
+        backends = ("sim", "asyncio") if codec == "json" else ("asyncio",)
+        for backend in backends:
+            metrics = _metrics(results[backend])
+            config = {"backend": backend, "brokers": brokers, "publishes": publishes}
+            if backend != "sim":
+                config["codec"] = codec
+            records.append({"sweep": "mobility", "config": config, "metrics": metrics})
+            m = metrics
+            print(
+                f"mobility {backend:<8} codec={codec if backend != 'sim' else '-':<7} "
+                f"brokers={brokers} pub/phase={publishes:<3} "
+                f"wall={m['wall_sec']:6.2f}s "
+                f"handover p50={m['handover_p50_sec'] * 1000:6.2f}ms "
+                f"p95={m['handover_p95_sec'] * 1000:6.2f}ms "
+                f"live={m['live_count']:<4} replayed={m['replayed_count']:<4} "
+                f"control={m['control_message_count']}"
+            )
+    return records, all_mismatches
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fast", action="store_true", help="small sweep for CI smoke runs")
     parser.add_argument(
-        "--output", "-o", default=None,
+        "--output",
+        "-o",
+        default=None,
         help="result path (default: BENCH_mobility.json for the full sweep, "
         "BENCH_mobility_fast.json in --fast mode so a smoke run never "
         "overwrites the committed full-sweep baseline)",

@@ -48,6 +48,17 @@ _EXAMPLES = {
 }
 
 
+def _add_codec_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--codec",
+        choices=("json", "binary"),
+        default="json",
+        help="wire codec of the socket backends: tagged-JSON reference or the "
+        "compact binary codec with hop-level write batching; the simulator "
+        "moves object references and ignores the choice (default: json)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -91,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     net_demo.add_argument(
         "--publishes", type=int, default=20, help="notifications to publish (default: 20)"
     )
+    _add_codec_argument(net_demo)
 
     cluster_demo = subparsers.add_parser(
         "cluster-demo",
@@ -102,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_demo.add_argument(
         "--publishes", type=int, default=40, help="notifications to publish (default: 40)"
     )
+    _add_codec_argument(cluster_demo)
 
     mobility_demo = subparsers.add_parser(
         "mobility-demo",
@@ -117,13 +130,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--brokers", type=int, default=3, help="brokers in the line topology (default: 3)"
     )
     mobility_demo.add_argument(
-        "--publishes", type=int, default=4,
+        "--publishes",
+        type=int,
+        default=4,
         help="notifications per location per movement phase (default: 4)",
     )
     mobility_demo.add_argument(
-        "--predictor", default="nlb",
-        help='shadow-placement policy: "nlb", "nlb-<k>", "flooding", "none", "markov" (default: nlb)',
+        "--predictor",
+        default="nlb",
+        help='shadow-placement policy: "nlb", "nlb-<k>", "flooding", "none", "markov" '
+        "(default: nlb)",
     )
+    _add_codec_argument(mobility_demo)
 
     chaos_demo = subparsers.add_parser(
         "chaos-demo",
@@ -149,10 +167,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-sever", action="store_true", help="skip the link sever/restore phases"
     )
     chaos_demo.add_argument(
-        "--seed", type=int, default=None,
+        "--seed",
+        type=int,
+        default=None,
         help="draw the publication values from this seed instead of the pinned "
         "storyline (the seed is printed on success and on divergence)",
     )
+    _add_codec_argument(chaos_demo)
 
     chaos_fuzz = subparsers.add_parser(
         "chaos-fuzz",
@@ -162,7 +183,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="first (or only) schedule seed (default: 0)"
     )
     chaos_fuzz.add_argument(
-        "--seeds", type=int, default=1,
+        "--seeds",
+        type=int,
+        default=1,
         help="number of consecutive seeds to sweep starting at --seed (default: 1)",
     )
     chaos_fuzz.add_argument(
@@ -173,9 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
         "simulator oracle under the identical schedule (default: sim)",
     )
     chaos_fuzz.add_argument(
-        "--no-shrink", action="store_true",
+        "--no-shrink",
+        action="store_true",
         help="report failures without shrinking the schedule first",
     )
+    _add_codec_argument(chaos_fuzz)
 
     soak = subparsers.add_parser(
         "soak",
@@ -188,12 +213,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend to soak (default: asyncio — real sockets, real fds)",
     )
     soak.add_argument(
-        "--budget-sec", type=float, default=10.0,
+        "--budget-sec",
+        type=float,
+        default=10.0,
         help="time budget in seconds; at least two iterations always run (default: 10)",
     )
     soak.add_argument(
         "--seed", type=int, default=0, help="seed of the first iteration (default: 0)"
     )
+    _add_codec_argument(soak)
 
     subparsers.add_parser("info", help="show the system inventory")
     return parser
@@ -205,7 +233,11 @@ def _command_experiments(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}; available: {list(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    overrides = {key: value for key, value in QUICK_OVERRIDES.items() if key in requested} if args.quick else {}
+    overrides = (
+        {key: value for key, value in QUICK_OVERRIDES.items() if key in requested}
+        if args.quick
+        else {}
+    )
     results = run_experiments(requested, overrides)
     for experiment_id, (title, table) in results.items():
         print(f"\n=== {experiment_id}: {title} ===\n")
@@ -251,8 +283,8 @@ def _command_net_demo(args: argparse.Namespace) -> int:
         + (" (localhost TCP sockets, wire-framed messages)" if backend == "asyncio" else
            " (deterministic discrete-event simulator)")
     )
-    result = run_line_workload(backend, args.brokers, args.publishes)
-    print(f"published {args.publishes} notifications from B1")
+    result = run_line_workload(backend, args.brokers, args.publishes, codec=args.codec)
+    print(f"published {args.publishes} notifications from B1 ({result.codec} codec)")
     for outcome in result.subscribers:
         latencies = sorted(outcome.latencies)
         if latencies:
@@ -305,7 +337,9 @@ def _command_cluster_demo(args: argparse.Namespace) -> int:
         pids = transport.broker_pids
         print("broker processes: " + ", ".join(f"{n}={pid}" for n, pid in sorted(pids.items())))
 
-    result = run_line_workload("cluster", args.brokers, args.publishes, observer=observer)
+    result = run_line_workload(
+        "cluster", args.brokers, args.publishes, observer=observer, codec=args.codec
+    )
     print(f"published {args.publishes} notifications from B1")
     for outcome in result.subscribers:
         latencies = sorted(outcome.latencies)
@@ -369,6 +403,7 @@ def _command_mobility_demo(args: argparse.Namespace) -> int:
             brokers=args.brokers,
             publishes_per_phase=args.publishes,
             predictor=args.predictor,
+            codec=args.codec,
         )
     except ValueError as exc:
         # e.g. an unknown --predictor spec: a clean usage error, not a traceback
@@ -422,7 +457,7 @@ def _command_chaos_demo(args: argparse.Namespace) -> int:
         try:
             result = run_chaos_scenario(
                 backend, temps=args.temps, deep=args.deep, kill=kill, sever=sever,
-                seed=args.seed,
+                seed=args.seed, codec=args.codec,
             )
         except ValueError as exc:
             # degenerate burst sizes (e.g. an empty fault window) are usage errors
@@ -480,7 +515,9 @@ def _command_chaos_fuzz(args: argparse.Namespace) -> int:
     )
     failures = 0
     for seed in range(args.seed, args.seed + args.seeds):
-        report = run_chaos_fuzz(seed, backend=args.backend, shrink=not args.no_shrink)
+        report = run_chaos_fuzz(
+            seed, backend=args.backend, shrink=not args.no_shrink, codec=args.codec
+        )
         print("  " + report.summary())
         if not report.ok:
             failures += 1
@@ -511,7 +548,9 @@ def _command_soak(args: argparse.Namespace) -> int:
         print("soak needs a positive --budget-sec", file=sys.stderr)
         return 2
     print(f"soak: {args.backend!r} backend for ~{args.budget_sec:.0f}s, seed {args.seed}+")
-    result = run_soak(backend=args.backend, budget_sec=args.budget_sec, seed=args.seed)
+    result = run_soak(
+        backend=args.backend, budget_sec=args.budget_sec, seed=args.seed, codec=args.codec
+    )
     plateau = ", ".join(
         f"{key}={value}" for key, value in sorted(result.plateau_final.items())
     )

@@ -146,7 +146,14 @@ class HandoverWorkloadResult:
 def _line_space(brokers: int) -> LocationSpace:
     locations = [f"l{i + 1}" for i in range(brokers)]
     adjacency = {
-        location: [n for n in (locations[i - 1] if i else None, locations[i + 1] if i + 1 < brokers else None) if n]
+        location: [
+            n
+            for n in (
+                locations[i - 1] if i else None,
+                locations[i + 1] if i + 1 < brokers else None,
+            )
+            if n
+        ]
         for i, location in enumerate(locations)
     }
     return LocationSpace(
@@ -161,6 +168,7 @@ def run_handover_workload(
     predictor: str = "nlb",
     connect_latency: float = 0.01,
     spec: Optional[WorkloadSpec] = None,
+    codec=None,
 ) -> HandoverWorkloadResult:
     """Run one member of the handover scenario family on one backend.
 
@@ -192,6 +200,7 @@ def run_handover_workload(
         # the simulator keeps its default simulated latencies; on sockets the
         # per-message latency floor would be real waiting, so run at raw speed
         link_latency=0.001 if sim_backend else 0.0,
+        codec=codec,
     )
     config = MobilitySystemConfig(
         predictor=spec.predictor,
@@ -351,6 +360,7 @@ def cross_check_backends(
     publishes_per_phase: int = 4,
     predictor: str = "nlb",
     spec: Optional[WorkloadSpec] = None,
+    codec=None,
 ) -> Tuple[Dict[str, HandoverWorkloadResult], List[str]]:
     """Run one family member on every backend and diff the delivered multisets.
 
@@ -366,6 +376,7 @@ def cross_check_backends(
             publishes_per_phase=publishes_per_phase,
             predictor=predictor,
             spec=spec,
+            codec=codec,
         )
         for backend in backends
     }

@@ -96,12 +96,13 @@ class _RemoteEndpoint(LinkEndpoint):
     backend.
     """
 
-    __slots__ = ("writer", "peer", "stats", "_buffer")
+    __slots__ = ("writer", "peer", "stats", "codec", "_buffer")
 
-    def __init__(self, writer: asyncio.StreamWriter, peer: str):
+    def __init__(self, writer: asyncio.StreamWriter, peer: str, codec: "wire.Codec | None" = None):
         self.writer = writer
         self.peer = peer
         self.stats = LinkStats()
+        self.codec = wire.get_codec(codec)
         self._buffer = bytearray()
 
     def transmit(self, message: Message) -> None:
@@ -109,16 +110,17 @@ class _RemoteEndpoint(LinkEndpoint):
             self.stats.record_drop()
             return
         self.stats.record(message)
-        self._buffer += wire.frame_message(message)
+        self._buffer += self.codec.frame_message(message)
 
     def transmit_many(self, messages: List[Message]) -> None:
         if self.writer.is_closing():
             for _ in messages:
                 self.stats.record_drop()
             return
+        frame_message = self.codec.frame_message
         for message in messages:
             self.stats.record(message)
-            self._buffer += wire.frame_message(message)
+            self._buffer += frame_message(message)
 
     def flush(self) -> None:
         """Hand every buffered frame to the socket in one write."""
@@ -182,6 +184,8 @@ class _BrokerNode:
         self.name: str = spec["name"]
         self.host: str = spec.get("host", "127.0.0.1")
         self.registry_address: Tuple[str, int] = tuple(spec["registry"])
+        #: the wire codec every link of this node speaks (handshake-checked)
+        self.codec = wire.get_codec(spec.get("codec"))
         #: a restarted node re-synchronises routing state over every link it
         #: (re-)establishes, instead of assuming the peers' tables are fresh
         self.resync_on_connect: bool = bool(spec.get("resync", False))
@@ -231,7 +235,7 @@ class _BrokerNode:
         broker as a lost link rather than silently ignored.
         """
         deliver = self.broker.deliver
-        decode = wire.decode_message
+        decode = self.codec.decode_message
         lost = False
         try:
             while True:
@@ -280,8 +284,12 @@ class _BrokerNode:
                 if bodies:
                     handshake = wire.decode_control(bodies[0])
                     leftover = bodies[1:]
+            wire.check_handshake_codec(handshake, self.codec)
+            # the handshake fixed the codec; every later body must lead with
+            # this codec's first byte
+            decoder.codec = self.codec
             peer = handshake["peer"]
-            endpoint = _RemoteEndpoint(writer, peer)
+            endpoint = _RemoteEndpoint(writer, peer, self.codec)
             self.broker.attach_link(peer, endpoint)
             if handshake.get("kind") == "broker":
                 self.broker.register_broker_peer(peer)
@@ -293,7 +301,7 @@ class _BrokerNode:
                 # void what it advertised before and send ours from scratch
                 self.broker.resync_link(peer)
             for body in leftover:
-                self.broker.deliver(wire.decode_message(body))
+                self.broker.deliver(self.codec.decode_message(body))
             self._flush_endpoints()
         except (ConnectionResetError, asyncio.CancelledError):
             writer.close()
@@ -328,12 +336,12 @@ class _BrokerNode:
                     )
                 await asyncio.sleep(pause + self._rng.uniform(0.0, pause / 4))
                 pause = min(pause * 2, self.DIAL_RETRY_CAP)
-        handshake = {"peer": self.name, "kind": "broker"}
+        handshake = {"peer": self.name, "kind": "broker", **wire.handshake_fields(self.codec)}
         if resync:
             handshake["resync"] = True
         writer.write(wire.frame(wire.encode_control(handshake)))
         await writer.drain()
-        endpoint = _RemoteEndpoint(writer, peer)
+        endpoint = _RemoteEndpoint(writer, peer, self.codec)
         self.broker.attach_link(peer, endpoint)
         self.broker.register_broker_peer(peer)
         self._writers.append(writer)
@@ -341,7 +349,9 @@ class _BrokerNode:
             self.broker.resync_link(peer)
             self._flush_endpoints()
         self._tasks.append(
-            asyncio.ensure_future(self._read_link(reader, FrameDecoder(), peer, endpoint))
+            # the dialer's read side only ever carries message frames, so its
+            # decoder is codec-armed from the first byte
+            asyncio.ensure_future(self._read_link(reader, FrameDecoder(self.codec), peer, endpoint))
         )
 
     def _sever_link(self, peer: str) -> None:
@@ -466,6 +476,13 @@ def node_main(argv: Optional[List[str]] = None) -> int:
     except json.JSONDecodeError as exc:
         print(f"invalid node spec: {exc}", file=sys.stderr)
         return 2
+    profile_dir = os.environ.get("REPRO_NODE_PROFILE")
+    profiler = None
+    if profile_dir:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     try:
         return asyncio.run(_BrokerNode(spec).run())
     except Exception:  # a child must die loudly, with a traceback on stderr
@@ -473,6 +490,10 @@ def node_main(argv: Optional[List[str]] = None) -> int:
 
         traceback.print_exc()
         return 1
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            profiler.dump_stats(os.path.join(profile_dir, f"node-{spec.get('name', '?')}.pstats"))
 
 
 # ------------------------------------------------------------- parent: links
@@ -660,8 +681,10 @@ class ClusterTransport(Transport):
         boot_timeout: float = DEFAULT_BOOT_TIMEOUT,
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
         settle: float = 0.005,
+        codec: "wire.Codec | str | None" = None,
     ):
         self.host = host
+        self.codec = wire.get_codec(codec)
         self.boot_timeout = boot_timeout
         self.idle_timeout = idle_timeout
         self.settle = settle
@@ -740,6 +763,7 @@ class ClusterTransport(Transport):
             "routing": routing,
             "matcher": matcher,
             "advertising": advertising,
+            "codec": self.codec.name,
             "dial": [],
             "accept": [],
         }
@@ -829,9 +853,10 @@ class ClusterTransport(Transport):
     async def _attach_client(self, client: Process, broker_name: str, link: ClusterLink) -> None:
         host, port = self.registry.registered[broker_name]
         reader, writer = await asyncio.open_connection(host, port)
-        writer.write(wire.frame(wire.encode_control({"peer": client.name, "kind": "client"})))
+        handshake = {"peer": client.name, "kind": "client", **wire.handshake_fields(self.codec)}
+        writer.write(wire.frame(wire.encode_control(handshake)))
         await writer.drain()
-        endpoint = _RemoteEndpoint(writer, broker_name)
+        endpoint = _RemoteEndpoint(writer, broker_name, self.codec)
         endpoint.stats = link._local_out  # the link owns the outbound counters
         client.attach_link(broker_name, endpoint)
         self._client_writers.append(writer)
@@ -841,14 +866,17 @@ class ClusterTransport(Transport):
     async def _client_reader(
         self, client: Process, reader: asyncio.StreamReader, link: ClusterLink
     ) -> None:
-        decoder = FrameDecoder()
+        # the broker only ever sends message frames back, so the decoder is
+        # codec-armed from the first byte
+        decoder = FrameDecoder(self.codec)
+        decode_message = self.codec.decode_message
         try:
             while True:
                 data = await reader.read(65536)
                 if not data:
                     break
                 for body in decoder.feed(data):
-                    message = wire.decode_message(body)
+                    message = decode_message(body)
                     link._local_in.record(message)
                     client.deliver(message)
         except (ConnectionResetError, asyncio.CancelledError):

@@ -211,10 +211,10 @@ class Network:
     ``transport="asyncio"``).
     """
 
-    def __init__(self, sim: Optional[Simulator] = None, transport=None):
+    def __init__(self, sim: Optional[Simulator] = None, transport=None, codec=None):
         from .transport import make_transport  # local: transport imports Link
 
-        self.transport = make_transport(transport, sim=sim)
+        self.transport = make_transport(transport, sim=sim, codec=codec)
         self.processes: Dict[str, Process] = {}
         self.links: list = []
 

@@ -44,10 +44,25 @@ class Message:
     sender: Optional[str] = None
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     meta: Dict[str, Any] = field(default_factory=dict)
+    _size: Optional[int] = field(default=None, init=False, repr=False, compare=False)
 
     def size(self) -> int:
-        """A crude size estimate in abstract bytes, used for bandwidth metrics."""
-        return 16 + _estimate_size(self.payload) + _estimate_size(self.meta)
+        """A crude size estimate in abstract bytes, used for bandwidth metrics.
+
+        Memoized: ``send`` and per-link stats both ask for it, and payload
+        and meta are not mutated once a message is in flight.
+        """
+        size = self._size
+        if size is None:
+            payload = self.payload
+            # fast path for domain payloads: ask the (memoized) hook directly
+            # instead of walking _estimate_size's isinstance ladder
+            hook = getattr(payload, "estimated_size", None)
+            payload_size = int(hook()) if callable(hook) else _estimate_size(payload)
+            meta = self.meta
+            meta_size = 8 if meta == {} else _estimate_size(meta)
+            size = self._size = 16 + payload_size + meta_size
+        return size
 
     def copy(self) -> "Message":
         """Return a copy with a fresh message id (used when forwarding).

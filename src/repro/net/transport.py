@@ -397,6 +397,9 @@ class _AsyncioDirectedEndpoint(LinkEndpoint):
         self.target = target
         self.stats = LinkStats()
         self._writer: Optional[asyncio.StreamWriter] = None
+        #: frames framed but not yet written to the socket (hop-level write
+        #: batching under a batched codec; always empty under JSON)
+        self._buffer = bytearray()
         #: frames written but not yet handed to the target process; lets the
         #: transport reconcile its in-flight counter if the connection dies
         self.undelivered = 0
@@ -408,7 +411,8 @@ class _AsyncioDirectedEndpoint(LinkEndpoint):
             link.on_drop(message, self.source, self.target)
             return
         self.stats.record(message)
-        link.transport._send_frames(self, wire.frame_message(message), count=1)
+        transport = link.transport
+        transport._send_frames(self, transport.codec.frame_message(message), count=1)
 
     def transmit_many(self, messages: List[Message]) -> None:
         if not messages:
@@ -419,11 +423,13 @@ class _AsyncioDirectedEndpoint(LinkEndpoint):
                 self.stats.record_drop()
                 link.on_drop(message, self.source, self.target)
             return
+        transport = link.transport
+        frame_message = transport.codec.frame_message
         burst = bytearray()
         for message in messages:
             self.stats.record(message)
-            burst += wire.frame_message(message)
-        link.transport._send_frames(self, bytes(burst), count=len(messages))
+            burst += frame_message(message)
+        transport._send_frames(self, bytes(burst), count=len(messages))
 
 
 class AsyncioLink:
@@ -553,8 +559,15 @@ class AsyncioTransport(Transport):
     #: default cap on run_until_idle, so a routing bug cannot hang a test run
     DEFAULT_IDLE_TIMEOUT = 30.0
 
-    def __init__(self, host: str = "127.0.0.1"):
+    #: flush threshold for hop-level write batching (batched codecs only): a
+    #: buffered burst is written out as soon as it reaches this many bytes,
+    #: so batching never holds more than one socket write's worth of frames
+    #: (individual frames are still bounded by ``wire.MAX_FRAME_SIZE``)
+    FLUSH_CAP = 64 * 1024
+
+    def __init__(self, host: str = "127.0.0.1", codec: "wire.Codec | str | None" = None):
         self.host = host
+        self.codec = wire.get_codec(codec)
         self._loop = asyncio.new_event_loop()
         self._clock = AsyncioClock(self)
         self._processes: Dict[str, Process] = {}
@@ -566,6 +579,9 @@ class AsyncioTransport(Transport):
         self._pending_error: Optional[BaseException] = None
         self._closed = False
         self.links: List[AsyncioLink] = []
+        #: endpoints holding buffered frames, flushed in one scheduled pass
+        self._dirty: "set[_AsyncioDirectedEndpoint]" = set()
+        self._flush_scheduled = False
 
     @property
     def clock(self) -> AsyncioClock:
@@ -640,6 +656,8 @@ class AsyncioTransport(Transport):
         (thousands of attach/detach cycles) does not accumulate dead links;
         connections already serving the link hold their own reference.
         """
+        self._flush_endpoint(link._a_to_b)
+        self._flush_endpoint(link._b_to_a)
         link._close_writers()
         self._links.pop(link.link_id, None)
         try:
@@ -668,6 +686,7 @@ class AsyncioTransport(Transport):
             "link": endpoint.link.link_id,
             "source": endpoint.source.name,
             "target": endpoint.target.name,
+            **wire.handshake_fields(self.codec),
         }
         writer.write(wire.frame(wire.encode_control(handshake)))
         await writer.drain()
@@ -677,6 +696,9 @@ class AsyncioTransport(Transport):
     async def _serve_connection(
         self, process: Process, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        codec = self.codec
+        decode_message = codec.decode_message
+        lean = codec.batched
         decoder = wire.FrameDecoder()
         link: Optional[AsyncioLink] = None
         saw_handshake = False
@@ -698,10 +720,30 @@ class AsyncioTransport(Transport):
                                 f"handshake for {handshake.get('target')!r} arrived at "
                                 f"{process.name!r}"
                             )
+                        wire.check_handshake_codec(handshake, codec)
                         link = self._links.get(handshake.get("link"))
                         saw_handshake = True
+                        # the handshake fixed the codec; from here on every
+                        # body must lead with this codec's first byte
+                        decoder.codec = codec
                         continue
-                    await self._dispatch(link, process, wire.decode_message(body), arrival)
+                    message = decode_message(body)
+                    if lean and link is not None and link.latency == 0:
+                        # zero-latency fast path for the batched codec: no
+                        # coroutine per message, identical drop/accounting
+                        # semantics to _dispatch
+                        endpoint = link._endpoint_into(process)
+                        try:
+                            if not link.up and not link.deliver_in_flight_on_down:
+                                endpoint.stats.record_drop()
+                                link.on_drop(message, endpoint.source, endpoint.target)
+                            else:
+                                process.deliver(message)
+                        finally:
+                            self._inflight -= 1
+                            endpoint.undelivered -= 1
+                        continue
+                    await self._dispatch(link, process, message, arrival)
         except (asyncio.CancelledError, ConnectionResetError):
             pass
         except BaseException as exc:  # surface decode/handler bugs to the driver
@@ -754,7 +796,39 @@ class AsyncioTransport(Transport):
             raise TransportError("link endpoint is not connected")
         self._inflight += count
         endpoint.undelivered += count
-        endpoint._writer.write(data)
+        if not self.codec.batched:
+            endpoint._writer.write(data)
+            return
+        # hop-level batching: coalesce the dispatch burst into one socket
+        # write.  In-flight accounting happens at buffer time (above), so
+        # run_until_idle cannot declare the system idle before the flush.
+        buffer = endpoint._buffer
+        buffer += data
+        if len(buffer) >= self.FLUSH_CAP:
+            self._flush_endpoint(endpoint)
+            return
+        self._dirty.add(endpoint)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self._loop.call_soon(self._flush_dirty)
+
+    def _flush_endpoint(self, endpoint: "_AsyncioDirectedEndpoint") -> None:
+        """Write an endpoint's buffered frames out in a single socket write."""
+        buffer = endpoint._buffer
+        if buffer:
+            if endpoint._writer is not None:
+                # a dead connection already reconciled the in-flight counter
+                # (see _serve_connection's finally); its buffer just drops
+                endpoint._writer.write(bytes(buffer))
+            buffer.clear()
+        self._dirty.discard(endpoint)
+
+    def _flush_dirty(self) -> None:
+        """Scheduled once per event-loop turn: flush every buffering endpoint."""
+        self._flush_scheduled = False
+        dirty, self._dirty = self._dirty, set()
+        for endpoint in dirty:
+            self._flush_endpoint(endpoint)
 
     # ----------------------------------------------------------------- driving
     def run(self, until: Optional[float] = None) -> float:
@@ -827,12 +901,18 @@ class AsyncioTransport(Transport):
             for endpoint in (link._a_to_b, link._b_to_a)
             if endpoint._writer is not None and not endpoint._writer.is_closing()
         )
+        buffered = sum(
+            len(endpoint._buffer)
+            for link in self._links.values()
+            for endpoint in (link._a_to_b, link._b_to_a)
+        )
         return {
             "links": len(self._links),
             "servers": len(self._servers),
             "pending_timers": self._clock.pending_timers,
             "open_writers": open_writers,
             "inflight_frames": self._inflight,
+            "buffered_bytes": buffered,
         }
 
     # ----------------------------------------------------------------- closing
@@ -867,13 +947,21 @@ class AsyncioTransport(Transport):
 TransportSpec = Union[None, str, Simulator, Transport]
 
 
-def make_transport(spec: TransportSpec = None, sim: Optional[Simulator] = None) -> Transport:
+def make_transport(
+    spec: TransportSpec = None,
+    sim: Optional[Simulator] = None,
+    codec: "wire.Codec | str | None" = None,
+) -> Transport:
     """Resolve the ``transport=`` knob into a backend instance.
 
     Accepts a backend name (``"sim"``/``"asyncio"``), an existing
     :class:`Transport`, a bare :class:`Simulator` (wrapped in
     :class:`SimTransport`), or ``None`` (simulator default).  ``sim`` is the
-    simulator to wrap when the spec resolves to the sim backend.
+    simulator to wrap when the spec resolves to the sim backend.  ``codec``
+    selects the wire codec of the socket backends (see
+    :data:`repro.net.wire.CODEC_NAMES`); the simulator moves object
+    references and never serializes, so it validates the name and ignores it
+    — letting one ``codec=`` knob drive sim-oracle cross-checks unchanged.
     """
     if isinstance(spec, Transport):
         if sim is not None and not (isinstance(spec, SimTransport) and spec.sim is sim):
@@ -883,7 +971,16 @@ def make_transport(spec: TransportSpec = None, sim: Optional[Simulator] = None) 
                 "got both a Simulator and a Transport with its own clock; "
                 "pass one or the other (or SimTransport(sim) wrapping that simulator)"
             )
+        if codec is not None:
+            wanted = wire.get_codec(codec)
+            actual = getattr(spec, "codec", None)
+            if actual is not None and actual is not wanted:
+                raise ValueError(
+                    f"transport already speaks the {actual.name!r} codec; "
+                    f"cannot re-resolve it with codec={wanted.name!r}"
+                )
         return spec
+    wire.get_codec(codec)  # validate the name up front for every backend
     if isinstance(spec, Simulator):
         return SimTransport(spec)
     if spec is None or spec == "sim":
@@ -891,11 +988,11 @@ def make_transport(spec: TransportSpec = None, sim: Optional[Simulator] = None) 
     if spec == "asyncio":
         if sim is not None:
             raise ValueError("the asyncio backend does not take a Simulator")
-        return AsyncioTransport()
+        return AsyncioTransport(codec=codec)
     if spec == "cluster":
         if sim is not None:
             raise ValueError("the cluster backend does not take a Simulator")
         from .cluster import ClusterTransport  # lazy: avoid a subprocess import cycle
 
-        return ClusterTransport()
+        return ClusterTransport(codec=codec)
     raise ValueError(f"unknown transport {spec!r}; available: {TRANSPORT_NAMES}")

@@ -32,6 +32,22 @@ Design notes
   raises :class:`WireError` instead of silently pickling arbitrary state.
   (``pickle`` would accept everything but turn every broker into a remote
   code execution endpoint; a closed codec is the safe default for sockets.)
+
+Two codecs share that closed payload set (see :func:`get_codec`):
+
+* ``"json"`` — the tagged-JSON reference codec described above.  Its byte
+  encodings are pinned by golden-trace digests and never change.
+* ``"binary"`` — a versioned binary codec for the socket hot path: a
+  version byte, one tag byte per value, compact (varint-style) lengths,
+  and protocol strings interned through a static :data:`STRING_TABLE`
+  whose revision is negotiated in the connection handshake
+  (:func:`handshake_fields`/:func:`check_handshake_codec`).  Every binary
+  round-trip decodes to an object whose JSON re-encoding is byte-identical
+  to a direct JSON encoding, so the golden traces keep pinning semantics.
+
+Handshakes themselves are always JSON control frames under both codecs —
+a codec mismatch is therefore detected loudly at connection setup
+(:class:`CodecMismatchError`) instead of surfacing as garbage frames.
 """
 
 from __future__ import annotations
@@ -52,6 +68,16 @@ _TAG = "__t__"
 
 class WireError(ValueError):
     """Raised when a value cannot be encoded, or a frame cannot be decoded."""
+
+
+class CodecMismatchError(WireError):
+    """A peer speaks a different codec or wire revision than this endpoint.
+
+    Distinct from plain :class:`WireError` so transports can tell a
+    negotiation failure (wrong codec, wrong binary version, skewed string
+    table) apart from truncation or corruption of an otherwise agreed
+    stream.
+    """
 
 
 # --------------------------------------------------------------------- values
@@ -172,9 +198,17 @@ def _encode_constraint(constraint: Any) -> Dict[str, Any]:
     if isinstance(constraint, f.Exists):
         return {_TAG: "c:exists", "attr": constraint.attribute}
     if isinstance(constraint, f.Equals):
-        return {_TAG: "c:eq", "attr": constraint.attribute, "value": _encode_value(constraint.value)}
+        return {
+            _TAG: "c:eq",
+            "attr": constraint.attribute,
+            "value": _encode_value(constraint.value),
+        }
     if isinstance(constraint, f.NotEquals):
-        return {_TAG: "c:ne", "attr": constraint.attribute, "value": _encode_value(constraint.value)}
+        return {
+            _TAG: "c:ne",
+            "attr": constraint.attribute,
+            "value": _encode_value(constraint.value),
+        }
     if isinstance(constraint, f.InSet):
         values = sorted((_encode_value(v) for v in constraint.values), key=repr)
         return {_TAG: "c:in", "attr": constraint.attribute, "values": values}
@@ -336,26 +370,99 @@ def _notification_fragment(notification: Any) -> str:
     return fragment
 
 
+def _filter_fragment(filter: Any) -> str:
+    """The canonical JSON fragment of a filter, cached on the object.
+
+    Filters are immutable; the covering-churn path re-forwards the same
+    filter (inside fresh subscriptions and unsubscribe payloads) once per
+    link, so the fragment is serialized at most once per object.
+    """
+    fragment = filter._wire_json
+    if fragment is None:
+        constraints = ",".join(_dumps(_encode_constraint(c)) for c in filter.constraints)
+        # key order matches sort_keys=True: "__t__" < "constraints"
+        fragment = f'{{"{_TAG}":"filter","constraints":[{constraints}]}}'
+        filter._wire_json = fragment
+    return fragment
+
+
+def _subscription_fragment(subscription: Any) -> str:
+    """The canonical JSON fragment of a subscription, cached on the object.
+
+    The cache lives in the instance ``__dict__`` (``Subscription`` is a
+    frozen dataclass without slots), so it never participates in equality,
+    and ``dataclasses.replace``-based rebinding builds fresh objects with
+    empty caches.  The nested filter fragment is spliced from its own
+    cache, which is the common hit: ``rebound``/``for_subscriber`` create
+    new subscriptions sharing one filter object.
+    """
+    fragment = subscription.__dict__.get("_wire_json")
+    if fragment is None:
+        # key order matches sort_keys=True: "__t__" < "filter" <
+        # "location_dependent" < "meta" < "sub_id" < "subscriber" < "template"
+        head = (
+            f'{{"{_TAG}":"subscription"'
+            f',"filter":{_filter_fragment(subscription.filter)}'
+            f',"location_dependent":{"true" if subscription.location_dependent else "false"}'
+            f',"meta":{_json_fragment(subscription.meta)}'
+            f',"sub_id":{_dumps(subscription.sub_id)}'
+            f',"subscriber":{_dumps(subscription.subscriber)}'
+        )
+        if subscription.template is not None:
+            fragment = f'{head},"template":{_dumps(_encode_value(subscription.template))}}}'
+        else:
+            fragment = head + "}"
+        object.__setattr__(subscription, "_wire_json", fragment)
+    return fragment
+
+
+def _json_fragment(obj: Any) -> str:
+    """Emit the canonical JSON text of any encodable value, using caches.
+
+    Byte-identical to ``_dumps(_encode_value(obj))`` by construction (same
+    sorted keys, same separators), but notification/filter/subscription
+    sub-trees are spliced from their cached fragments, and containers
+    recurse so a filter nested in an ``unsubscribe`` dict payload still
+    hits its cache.
+    """
+    if isinstance(obj, dict):
+        if any(not isinstance(key, str) for key in obj):
+            raise WireError(f"only string dict keys are encodable, got {obj!r}")
+        if _TAG in obj:
+            raise WireError(f"dict key {_TAG!r} is reserved for the codec")
+        items = ",".join(f"{_dumps(key)}:{_json_fragment(obj[key])}" for key in sorted(obj))
+        return f"{{{items}}}"
+    if isinstance(obj, list):
+        return f'[{",".join(_json_fragment(item) for item in obj)}]'
+
+    from ..pubsub.filters import Filter
+    from ..pubsub.notification import Notification
+    from ..pubsub.subscription import Subscription
+
+    if isinstance(obj, Notification):
+        return _notification_fragment(obj)
+    if isinstance(obj, Filter):
+        return _filter_fragment(obj)
+    if isinstance(obj, Subscription):
+        return _subscription_fragment(obj)
+    return _dumps(_encode_value(obj))
+
+
 def encode_message(message: Message) -> bytes:
     """Serialize a message to its canonical (deterministic) byte body."""
-    payload = message.payload
-    from ..pubsub.notification import Notification  # lazy, as in _encode_value
-
-    if isinstance(payload, Notification):
-        # splice the cached payload fragment into the canonical body; key
-        # order of the hand-built JSON matches sort_keys=True
-        # ("__t__" < "kind" < "meta" < "msg_id" < "payload" < "sender")
-        head = _dumps(
-            {
-                _TAG: "message",
-                "kind": message.kind,
-                "meta": _encode_value(message.meta),
-                "msg_id": message.msg_id,
-            }
-        )
-        tail = _dumps({"sender": message.sender})
-        return f'{head[:-1]},"payload":{_notification_fragment(payload)},{tail[1:]}'.encode("utf-8")
-    return _dumps(_encode_message_value(message)).encode("utf-8")
+    # splice the cached payload fragment into the canonical body; key
+    # order of the hand-built JSON matches sort_keys=True
+    # ("__t__" < "kind" < "meta" < "msg_id" < "payload" < "sender")
+    head = _dumps(
+        {
+            _TAG: "message",
+            "kind": message.kind,
+            "meta": _encode_value(message.meta),
+            "msg_id": message.msg_id,
+        }
+    )
+    tail = _dumps({"sender": message.sender})
+    return f'{head[:-1]},"payload":{_json_fragment(message.payload)},{tail[1:]}'.encode("utf-8")
 
 
 def decode_message(data: bytes) -> Message:
@@ -363,18 +470,28 @@ def decode_message(data: bytes) -> Message:
     try:
         obj = json.loads(data.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        if data[:1] == _BINARY_PREFIX:
+            raise CodecMismatchError(
+                "received a binary frame on a JSON-codec connection (codec mismatch)"
+            ) from exc
         raise WireError(f"malformed wire body: {exc}") from exc
     decoded = _decode_value(obj)
     if not isinstance(decoded, Message):
         raise WireError(f"wire body is not a message: {decoded!r}")
     payload = decoded.payload
     from ..pubsub.notification import Notification
+    from ..pubsub.subscription import Subscription
 
     if isinstance(payload, Notification) and payload._wire is None:
         # prime the fragment cache from the parsed body: re-dumping the
         # already-canonical payload sub-structure is byte-identical to the
         # sender's encoding, so the next hop forwards without re-encoding
         payload._wire = _dumps(obj["payload"])
+    elif isinstance(payload, Subscription):
+        if payload.__dict__.get("_wire_json") is None:
+            object.__setattr__(payload, "_wire_json", _dumps(obj["payload"]))
+        if payload.filter._wire_json is None:
+            payload.filter._wire_json = _dumps(obj["payload"]["filter"])
     return decoded
 
 
@@ -388,6 +505,836 @@ def decode_control(data: bytes) -> Any:
         return _decode_value(json.loads(data.decode("utf-8")))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise WireError(f"malformed control body: {exc}") from exc
+
+
+# --------------------------------------------------------------- binary codec
+#
+# Body layout: one version byte (BINARY_VERSION, which can never collide with
+# a JSON body — those start with "{" = 0x7B) followed by one tagged value.
+# Every value is a tag byte plus a fixed- or length-prefixed encoding; counts
+# and lengths use a compact form (one byte 0..254, or 0xFF + 4-byte >I).
+# Protocol strings (message kinds, common payload keys and workload attribute
+# names) are interned through the static STRING_TABLE: a 2-byte reference
+# instead of the spelled-out string.  The table is part of the wire revision:
+# handshakes carry (codec, WIRE_VERSION, table length) and a skew is rejected
+# loudly at connection setup, so indices are connection-independent and the
+# per-object binary fragments below are globally cacheable.
+#
+# Determinism mirrors the JSON codec: dict keys are emitted sorted,
+# set/frozenset items are emitted sorted by repr, so the same object always
+# encodes to the same bytes regardless of hash seed.
+
+BINARY_VERSION = 1
+
+#: revision of the binary format *and* the string table; negotiated in the
+#: connection handshake.  Bump whenever tags, layouts or STRING_TABLE change.
+WIRE_VERSION = 1
+
+_BINARY_PREFIX = bytes([BINARY_VERSION])
+
+#: static interned protocol strings (message kinds, wire payload keys, common
+#: workload attribute names).  Append-only; any change bumps WIRE_VERSION.
+STRING_TABLE: Tuple[str, ...] = (
+    # message kinds (broker + mobility protocol)
+    "publish",
+    "notify",
+    "subscribe",
+    "unsubscribe",
+    "detach",
+    "resync",
+    "shadow_create",
+    "shadow_delete",
+    "shadow_sub",
+    "shadow_unsub",
+    "client_hello",
+    "client_bye",
+    "client_leaving",
+    "client_subscribe",
+    "client_unsubscribe",
+    "location_update",
+    "welcome",
+    "handover_request",
+    "handover_reply",
+    # common wire payload keys
+    "sub_id",
+    "filter",
+    "client_id",
+    "subscription",
+    "templates",
+    "location",
+    "broker",
+    "had_shadow",
+    "replayed",
+    "new_broker",
+    "old_broker",
+    "found",
+    "reissue",
+    # common workload attribute names and topic values
+    "topic",
+    "value",
+    "pad",
+    "service",
+    "room",
+    "seq",
+    "phase",
+    "bench",
+    "demo",
+)
+
+_STRING_IDS: Dict[str, int] = {s: i for i, s in enumerate(STRING_TABLE)}
+_TABLE_LEN = len(STRING_TABLE)
+
+_PACK_D = struct.Struct(">d")
+_PACK_I32 = struct.Struct(">i")
+_PACK_I64 = struct.Struct(">q")
+_PACK_U32 = struct.Struct(">I")
+
+# value tags
+_B_NONE = 0x00
+_B_TRUE = 0x01
+_B_FALSE = 0x02
+_B_INT8 = 0x03
+_B_INT32 = 0x04
+_B_INT64 = 0x05
+_B_BIGINT = 0x06
+_B_FLOAT = 0x07
+_B_STR = 0x08
+_B_SREF = 0x09
+_B_LIST = 0x0A
+_B_TUPLE = 0x0B
+_B_SET = 0x0C
+_B_FROZENSET = 0x0D
+_B_DICT = 0x0E
+_B_NOTIFICATION = 0x0F
+_B_FILTER = 0x10
+_B_C_EXISTS = 0x11
+_B_C_EQ = 0x12
+_B_C_NE = 0x13
+_B_C_IN = 0x14
+_B_C_RANGE = 0x15
+_B_C_PREFIX = 0x16
+_B_SUBSCRIPTION = 0x17
+_B_MESSAGE = 0x18
+_B_LOCTEMPLATE = 0x19
+_B_CLIENT_HELLO = 0x1A
+_B_HANDOVER_REQUEST = 0x1B
+_B_HANDOVER_REPLY = 0x1C
+_B_REPLICATOR_STATS = 0x1D
+
+# Domain classes, resolved once on first use (the JSON path imports lazily
+# per call; the binary hot path keeps them in module globals instead).
+_Notification = None
+_Filter = None
+_Constraint = None
+_Exists = None
+_Equals = None
+_NotEquals = None
+_InSet = None
+_Range = None
+_Prefix = None
+_Subscription = None
+_LocationDependentFilter = None
+_ClientHello = None
+_HandoverRequest = None
+_HandoverReply = None
+_ReplicatorStats = None
+_ReplicatorStatsFields: Tuple[str, ...] = ()
+
+
+def _load_domain() -> None:
+    global _Notification, _Filter, _Constraint, _Exists, _Equals, _NotEquals
+    global _InSet, _Range, _Prefix, _Subscription, _LocationDependentFilter
+    global _ClientHello, _HandoverRequest, _HandoverReply, _ReplicatorStats
+    global _ReplicatorStatsFields
+    from dataclasses import fields
+
+    from ..core.location_filter import LocationDependentFilter
+    from ..core.physical_mobility import HandoverReply, HandoverRequest
+    from ..core.replicator import ClientHello, ReplicatorStats
+    from ..pubsub import filters as f
+    from ..pubsub.notification import Notification
+    from ..pubsub.subscription import Subscription
+
+    _Notification = Notification
+    _Filter = f.Filter
+    _Constraint = f.Constraint
+    _Exists = f.Exists
+    _Equals = f.Equals
+    _NotEquals = f.NotEquals
+    _InSet = f.InSet
+    _Range = f.Range
+    _Prefix = f.Prefix
+    _Subscription = Subscription
+    _LocationDependentFilter = LocationDependentFilter
+    _ClientHello = ClientHello
+    _HandoverRequest = HandoverRequest
+    _HandoverReply = HandoverReply
+    _ReplicatorStats = ReplicatorStats
+    _ReplicatorStatsFields = tuple(field.name for field in fields(ReplicatorStats))
+
+
+def _w_count(out: bytearray, n: int) -> None:
+    if n < 255:
+        out.append(n)
+    else:
+        out.append(255)
+        out += _PACK_U32.pack(n)
+
+
+def _w_str(out: bytearray, s: str) -> None:
+    idx = _STRING_IDS.get(s)
+    if idx is not None:
+        out.append(_B_SREF)
+        out.append(idx)
+    else:
+        data = s.encode("utf-8")
+        out.append(_B_STR)
+        _w_count(out, len(data))
+        out += data
+
+
+def _w_int(out: bytearray, v: int) -> None:
+    if -128 <= v <= 127:
+        out.append(_B_INT8)
+        out.append(v & 0xFF)
+    elif -2147483648 <= v <= 2147483647:
+        out.append(_B_INT32)
+        out += _PACK_I32.pack(v)
+    elif -(1 << 63) <= v < 1 << 63:
+        out.append(_B_INT64)
+        out += _PACK_I64.pack(v)
+    else:
+        data = v.to_bytes((v.bit_length() + 8) // 8, "big", signed=True)
+        if len(data) > 254:
+            raise WireError(f"integer too large for the binary codec: {v!r}")
+        out.append(_B_BIGINT)
+        out.append(len(data))
+        out += data
+
+
+def _w_constraint(out: bytearray, c: Any) -> None:
+    # isinstance chain in the same order as the JSON _encode_constraint
+    if isinstance(c, _Exists):
+        out.append(_B_C_EXISTS)
+        _w_str(out, c.attribute)
+    elif isinstance(c, _Equals):
+        out.append(_B_C_EQ)
+        _w_str(out, c.attribute)
+        _b_write(out, c.value)
+    elif isinstance(c, _NotEquals):
+        out.append(_B_C_NE)
+        _w_str(out, c.attribute)
+        _b_write(out, c.value)
+    elif isinstance(c, _InSet):
+        out.append(_B_C_IN)
+        _w_str(out, c.attribute)
+        values = sorted(c.values, key=repr)
+        _w_count(out, len(values))
+        for value in values:
+            _b_write(out, value)
+    elif isinstance(c, _Range):
+        out.append(_B_C_RANGE)
+        _w_str(out, c.attribute)
+        _b_write(out, c.low)
+        _b_write(out, c.high)
+        out.append((1 if c.include_low else 0) | (2 if c.include_high else 0))
+    elif isinstance(c, _Prefix):
+        out.append(_B_C_PREFIX)
+        _w_str(out, c.attribute)
+        _w_str(out, c.prefix)
+    else:
+        raise WireError(f"cannot encode constraint type {type(c).__name__}")
+
+
+def _filter_fragment_binary(filter: Any) -> bytes:
+    fragment = filter._wire_bin
+    if fragment is None:
+        tmp = bytearray()
+        tmp.append(_B_FILTER)
+        constraints = filter.constraints
+        _w_count(tmp, len(constraints))
+        for c in constraints:
+            _w_constraint(tmp, c)
+        fragment = bytes(tmp)
+        filter._wire_bin = fragment
+    return fragment
+
+
+def _b_write(out: bytearray, obj: Any) -> None:
+    if obj is None:
+        out.append(_B_NONE)
+        return
+    t = type(obj)
+    if t is str:
+        _w_str(out, obj)
+        return
+    if t is bool:
+        out.append(_B_TRUE if obj else _B_FALSE)
+        return
+    if t is int:
+        _w_int(out, obj)
+        return
+    if t is float:
+        out.append(_B_FLOAT)
+        out += _PACK_D.pack(obj)
+        return
+    if t is dict:
+        if any(not isinstance(key, str) for key in obj):
+            raise WireError(f"only string dict keys are encodable, got {obj!r}")
+        if _TAG in obj:
+            raise WireError(f"dict key {_TAG!r} is reserved for the codec")
+        out.append(_B_DICT)
+        _w_count(out, len(obj))
+        for key in sorted(obj):
+            _w_str(out, key)
+            _b_write(out, obj[key])
+        return
+    if t is list:
+        out.append(_B_LIST)
+        _w_count(out, len(obj))
+        for item in obj:
+            _b_write(out, item)
+        return
+    if t is tuple:
+        out.append(_B_TUPLE)
+        _w_count(out, len(obj))
+        for item in obj:
+            _b_write(out, item)
+        return
+
+    if isinstance(obj, _Notification):
+        fragment = obj._wire_bin
+        if fragment is None:
+            tmp = bytearray()
+            tmp.append(_B_NOTIFICATION)
+            _b_write(tmp, obj._attributes)
+            _w_int(tmp, obj.notification_id)
+            _b_write(tmp, obj.published_at)
+            _b_write(tmp, obj.publisher)
+            fragment = bytes(tmp)
+            obj._wire_bin = fragment
+        out += fragment
+        return
+    if isinstance(obj, _Filter):
+        out += _filter_fragment_binary(obj)
+        return
+    if isinstance(obj, _Subscription):
+        fragment = obj.__dict__.get("_wire_bin")
+        if fragment is None:
+            tmp = bytearray()
+            tmp.append(_B_SUBSCRIPTION)
+            _w_str(tmp, obj.sub_id)
+            tmp += _filter_fragment_binary(obj.filter)
+            _b_write(tmp, obj.subscriber)
+            template = obj.template
+            tmp.append((1 if obj.location_dependent else 0) | (2 if template is not None else 0))
+            if template is not None:
+                _b_write(tmp, template)
+            _b_write(tmp, obj.meta)
+            fragment = bytes(tmp)
+            object.__setattr__(obj, "_wire_bin", fragment)
+        out += fragment
+        return
+    if isinstance(obj, Message):
+        out.append(_B_MESSAGE)
+        _w_str(out, obj.kind)
+        _b_write(out, obj.payload)
+        _b_write(out, obj.sender)
+        _w_int(out, obj.msg_id)
+        _b_write(out, obj.meta)
+        return
+    if isinstance(obj, _Constraint):
+        _w_constraint(out, obj)
+        return
+    if isinstance(obj, (set, frozenset)):
+        out.append(_B_FROZENSET if isinstance(obj, frozenset) else _B_SET)
+        items = sorted(obj, key=repr)
+        _w_count(out, len(items))
+        for item in items:
+            _b_write(out, item)
+        return
+    if isinstance(obj, _LocationDependentFilter):
+        out.append(_B_LOCTEMPLATE)
+        _b_write(out, obj.static_filter)
+        _w_str(out, obj.location_attribute)
+        _b_write(out, obj.scope)
+        return
+    if isinstance(obj, _ClientHello):
+        out.append(_B_CLIENT_HELLO)
+        _b_write(out, obj.client_id)
+        _b_write(out, obj.location)
+        _b_write(out, obj.templates)
+        _b_write(out, obj.plain_filters)
+        _b_write(out, obj.previous_broker)
+        _b_write(out, obj.reissue)
+        return
+    if isinstance(obj, _HandoverRequest):
+        out.append(_B_HANDOVER_REQUEST)
+        _b_write(out, obj.client_id)
+        _b_write(out, obj.new_broker)
+        _b_write(out, obj.new_replicator)
+        return
+    if isinstance(obj, _HandoverReply):
+        out.append(_B_HANDOVER_REPLY)
+        _b_write(out, obj.client_id)
+        _b_write(out, obj.old_broker)
+        _b_write(out, obj.plain_filters)
+        buffered_plain = obj.buffered_plain
+        _w_count(out, len(buffered_plain))
+        for n in buffered_plain:
+            _b_write(out, n)
+        buffered_location = obj.buffered_location
+        _w_count(out, len(buffered_location))
+        for n in buffered_location:
+            _b_write(out, n)
+        _b_write(out, obj.found)
+        return
+    if isinstance(obj, _ReplicatorStats):
+        out.append(_B_REPLICATOR_STATS)
+        _b_write(out, {name: getattr(obj, name) for name in _ReplicatorStatsFields})
+        return
+    # subclass fallbacks, mirroring the JSON codec's isinstance dispatch
+    if isinstance(obj, bool):
+        out.append(_B_TRUE if obj else _B_FALSE)
+        return
+    if isinstance(obj, int):
+        _w_int(out, obj)
+        return
+    if isinstance(obj, float):
+        out.append(_B_FLOAT)
+        out += _PACK_D.pack(obj)
+        return
+    if isinstance(obj, str):
+        _w_str(out, obj)
+        return
+    raise WireError(f"cannot encode {type(obj).__name__} value {obj!r}")
+
+
+def _r_count(buf: bytes, pos: int) -> Tuple[int, int]:
+    n = buf[pos]
+    pos += 1
+    if n == 255:
+        n = _PACK_U32.unpack_from(buf, pos)[0]
+        pos += 4
+    return n, pos
+
+
+def _b_read(buf: bytes, pos: int) -> Tuple[Any, int]:
+    tag = buf[pos]
+    pos += 1
+    if tag == _B_SREF:
+        idx = buf[pos]
+        if idx >= _TABLE_LEN:
+            raise WireError(
+                f"string-table index {idx} out of range (table has {_TABLE_LEN} entries); "
+                f"the peer speaks an incompatible wire revision"
+            )
+        return STRING_TABLE[idx], pos + 1
+    if tag == _B_STR:
+        n, pos = _r_count(buf, pos)
+        end = pos + n
+        if end > len(buf):
+            raise WireError("truncated binary string")
+        return buf[pos:end].decode("utf-8"), end
+    if tag == _B_INT8:
+        v = buf[pos]
+        return (v - 256 if v >= 128 else v), pos + 1
+    if tag == _B_INT32:
+        return _PACK_I32.unpack_from(buf, pos)[0], pos + 4
+    if tag == _B_DICT:
+        n, pos = _r_count(buf, pos)
+        obj: Dict[str, Any] = {}
+        for _ in range(n):
+            key, pos = _b_read(buf, pos)
+            value, pos = _b_read(buf, pos)
+            obj[key] = value
+        return obj, pos
+    if tag == _B_NOTIFICATION:
+        start = pos - 1
+        # inlined attrs read: a notification body is always a small dict of
+        # interned-or-short keys with scalar values, so the generic dispatch
+        # (one _b_read call per key and value) is mostly call overhead
+        if buf[pos] == _B_DICT:
+            n, pos = _r_count(buf, pos + 1)
+            attrs = {}
+            for _ in range(n):
+                t = buf[pos]
+                if t == _B_SREF:
+                    idx = buf[pos + 1]
+                    if idx >= _TABLE_LEN:
+                        raise WireError(
+                            f"string-table index {idx} out of range (table has "
+                            f"{_TABLE_LEN} entries); the peer speaks an "
+                            f"incompatible wire revision"
+                        )
+                    key = STRING_TABLE[idx]
+                    pos += 2
+                else:
+                    key, pos = _b_read(buf, pos)
+                t = buf[pos]
+                if t == _B_INT8:
+                    v = buf[pos + 1]
+                    value = v - 256 if v >= 128 else v
+                    pos += 2
+                elif t == _B_INT32:
+                    value = _PACK_I32.unpack_from(buf, pos + 1)[0]
+                    pos += 5
+                elif t == _B_STR and buf[pos + 1] < 255:
+                    end = pos + 2 + buf[pos + 1]
+                    if end > len(buf):
+                        raise WireError("truncated binary string")
+                    value = buf[pos + 2:end].decode("utf-8")
+                    pos = end
+                elif t == _B_FLOAT:
+                    value = _PACK_D.unpack_from(buf, pos + 1)[0]
+                    pos += 9
+                else:
+                    value, pos = _b_read(buf, pos)
+                attrs[key] = value
+        else:
+            attrs, pos = _b_read(buf, pos)
+        nid, pos = _b_read(buf, pos)
+        published_at, pos = _b_read(buf, pos)
+        publisher, pos = _b_read(buf, pos)
+        # build without __init__: ``attrs`` is a freshly decoded dict this
+        # notification can own outright, so the defensive copy is waste
+        notification = _Notification.__new__(_Notification)
+        notification._attributes = attrs
+        notification.notification_id = nid
+        notification.published_at = published_at
+        notification.publisher = publisher
+        notification._wire = None
+        notification._esize = None
+        # prime the binary fragment cache from the received span, so the
+        # next hop forwards the payload without re-encoding it
+        notification._wire_bin = buf[start:pos]
+        return notification, pos
+    if tag == _B_FLOAT:
+        return _PACK_D.unpack_from(buf, pos)[0], pos + 8
+    if tag == _B_NONE:
+        return None, pos
+    if tag == _B_TRUE:
+        return True, pos
+    if tag == _B_FALSE:
+        return False, pos
+    if tag == _B_INT64:
+        return _PACK_I64.unpack_from(buf, pos)[0], pos + 8
+    if tag == _B_BIGINT:
+        n = buf[pos]
+        pos += 1
+        end = pos + n
+        if end > len(buf):
+            raise WireError("truncated binary integer")
+        return int.from_bytes(buf[pos:end], "big", signed=True), end
+    if tag == _B_LIST:
+        n, pos = _r_count(buf, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _b_read(buf, pos)
+            items.append(item)
+        return items, pos
+    if tag == _B_TUPLE:
+        n, pos = _r_count(buf, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _b_read(buf, pos)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _B_SET or tag == _B_FROZENSET:
+        n, pos = _r_count(buf, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _b_read(buf, pos)
+            items.append(item)
+        return (frozenset(items) if tag == _B_FROZENSET else set(items)), pos
+    if tag == _B_MESSAGE:
+        kind, pos = _b_read(buf, pos)
+        payload, pos = _b_read(buf, pos)
+        sender, pos = _b_read(buf, pos)
+        msg_id, pos = _b_read(buf, pos)
+        meta, pos = _b_read(buf, pos)
+        return Message(kind=kind, payload=payload, sender=sender, msg_id=msg_id, meta=meta), pos
+    if tag == _B_FILTER:
+        start = pos - 1
+        n, pos = _r_count(buf, pos)
+        constraints = []
+        for _ in range(n):
+            constraint, pos = _b_read(buf, pos)
+            constraints.append(constraint)
+        filter = _Filter(constraints)
+        filter._wire_bin = buf[start:pos]
+        return filter, pos
+    if tag == _B_C_EXISTS:
+        attr, pos = _b_read(buf, pos)
+        return _Exists(attr), pos
+    if tag == _B_C_EQ:
+        attr, pos = _b_read(buf, pos)
+        value, pos = _b_read(buf, pos)
+        return _Equals(attr, value), pos
+    if tag == _B_C_NE:
+        attr, pos = _b_read(buf, pos)
+        value, pos = _b_read(buf, pos)
+        return _NotEquals(attr, value), pos
+    if tag == _B_C_IN:
+        attr, pos = _b_read(buf, pos)
+        n, pos = _r_count(buf, pos)
+        values = []
+        for _ in range(n):
+            value, pos = _b_read(buf, pos)
+            values.append(value)
+        return _InSet(attr, values), pos
+    if tag == _B_C_RANGE:
+        attr, pos = _b_read(buf, pos)
+        low, pos = _b_read(buf, pos)
+        high, pos = _b_read(buf, pos)
+        flags = buf[pos]
+        return _Range(
+            attr, low=low, high=high, include_low=bool(flags & 1), include_high=bool(flags & 2)
+        ), pos + 1
+    if tag == _B_C_PREFIX:
+        attr, pos = _b_read(buf, pos)
+        prefix, pos = _b_read(buf, pos)
+        return _Prefix(attr, prefix), pos
+    if tag == _B_SUBSCRIPTION:
+        start = pos - 1
+        sub_id, pos = _b_read(buf, pos)
+        filter, pos = _b_read(buf, pos)
+        subscriber, pos = _b_read(buf, pos)
+        flags = buf[pos]
+        pos += 1
+        template = None
+        if flags & 2:
+            template, pos = _b_read(buf, pos)
+        meta, pos = _b_read(buf, pos)
+        subscription = _Subscription(
+            sub_id=sub_id,
+            filter=filter,
+            subscriber=subscriber,
+            location_dependent=bool(flags & 1),
+            template=template,
+            meta=meta,
+        )
+        object.__setattr__(subscription, "_wire_bin", buf[start:pos])
+        return subscription, pos
+    if tag == _B_LOCTEMPLATE:
+        static, pos = _b_read(buf, pos)
+        attr, pos = _b_read(buf, pos)
+        scope, pos = _b_read(buf, pos)
+        return _LocationDependentFilter(
+            static_filter=static, location_attribute=attr, scope=scope
+        ), pos
+    if tag == _B_CLIENT_HELLO:
+        client_id, pos = _b_read(buf, pos)
+        location, pos = _b_read(buf, pos)
+        templates, pos = _b_read(buf, pos)
+        plain_filters, pos = _b_read(buf, pos)
+        previous_broker, pos = _b_read(buf, pos)
+        reissue, pos = _b_read(buf, pos)
+        return _ClientHello(
+            client_id=client_id,
+            location=location,
+            templates=templates,
+            plain_filters=plain_filters,
+            previous_broker=previous_broker,
+            reissue=reissue,
+        ), pos
+    if tag == _B_HANDOVER_REQUEST:
+        client_id, pos = _b_read(buf, pos)
+        new_broker, pos = _b_read(buf, pos)
+        new_replicator, pos = _b_read(buf, pos)
+        return _HandoverRequest(
+            client_id=client_id, new_broker=new_broker, new_replicator=new_replicator
+        ), pos
+    if tag == _B_HANDOVER_REPLY:
+        client_id, pos = _b_read(buf, pos)
+        old_broker, pos = _b_read(buf, pos)
+        plain_filters, pos = _b_read(buf, pos)
+        n, pos = _r_count(buf, pos)
+        buffered_plain = []
+        for _ in range(n):
+            notification, pos = _b_read(buf, pos)
+            buffered_plain.append(notification)
+        n, pos = _r_count(buf, pos)
+        buffered_location = []
+        for _ in range(n):
+            notification, pos = _b_read(buf, pos)
+            buffered_location.append(notification)
+        found, pos = _b_read(buf, pos)
+        return _HandoverReply(
+            client_id=client_id,
+            old_broker=old_broker,
+            plain_filters=plain_filters,
+            buffered_plain=buffered_plain,
+            buffered_location=buffered_location,
+            found=found,
+        ), pos
+    if tag == _B_REPLICATOR_STATS:
+        stats, pos = _b_read(buf, pos)
+        return _ReplicatorStats(**stats), pos
+    raise WireError(f"unknown binary wire tag 0x{tag:02x}")
+
+
+def encode_message_binary(message: Message) -> bytes:
+    """Serialize a message to its binary byte body (version byte + value)."""
+    if _Notification is None:
+        _load_domain()
+    out = bytearray(_BINARY_PREFIX)
+    _b_write(out, message)
+    return bytes(out)
+
+
+def decode_message_binary(data: bytes) -> Message:
+    """Parse a byte body produced by :func:`encode_message_binary`."""
+    if not data:
+        raise WireError("empty binary wire body")
+    if data[0] != BINARY_VERSION:
+        if data[0] == 0x7B:  # "{" — a tagged-JSON body
+            raise CodecMismatchError(
+                "received a JSON frame on a binary-codec connection (codec mismatch)"
+            )
+        raise CodecMismatchError(
+            f"unsupported binary wire version byte 0x{data[0]:02x} "
+            f"(this endpoint speaks version {BINARY_VERSION})"
+        )
+    if _Notification is None:
+        _load_domain()
+    try:
+        if len(data) > 1 and data[1] == _B_MESSAGE:
+            # inline the envelope read: every well-formed body is a Message,
+            # so skip the full tag-dispatch chain for the outer value
+            kind, pos = _b_read(data, 2)
+            payload, pos = _b_read(data, pos)
+            sender, pos = _b_read(data, pos)
+            msg_id, pos = _b_read(data, pos)
+            meta, pos = _b_read(data, pos)
+            obj: Any = Message.__new__(Message)
+            obj.__dict__ = {
+                "kind": kind,
+                "payload": payload,
+                "sender": sender,
+                "msg_id": msg_id,
+                "meta": meta,
+                "_size": None,
+            }
+        else:
+            obj, pos = _b_read(data, 1)
+    except (IndexError, struct.error, UnicodeDecodeError, OverflowError, TypeError) as exc:
+        raise WireError(f"malformed binary wire body: {exc}") from exc
+    if pos != len(data):
+        raise WireError(f"{len(data) - pos} trailing bytes after the binary message")
+    if not isinstance(obj, Message):
+        raise WireError(f"wire body is not a message: {obj!r}")
+    return obj
+
+
+def frame_message_binary(message: Message) -> bytes:
+    """Encode and frame a binary message in one step (the sender hot path).
+
+    Builds the length prefix, version byte and body in a single buffer and
+    writes the envelope fields directly, skipping both the intermediate
+    body copy of ``frame(encode_message_binary(...))`` and the type-dispatch
+    chain of :func:`_b_write` for the outer :class:`Message`.
+    """
+    if _Notification is None:
+        _load_domain()
+    out = bytearray(4)  # length prefix, patched once the body is complete
+    out.append(BINARY_VERSION)
+    out.append(_B_MESSAGE)
+    _w_str(out, message.kind)
+    _b_write(out, message.payload)
+    _b_write(out, message.sender)
+    _w_int(out, message.msg_id)
+    _b_write(out, message.meta)
+    body_len = len(out) - 4
+    if body_len > MAX_FRAME_SIZE:
+        raise WireError(f"frame body of {body_len} bytes exceeds MAX_FRAME_SIZE")
+    _LENGTH.pack_into(out, 0, body_len)
+    return bytes(out)
+
+
+# --------------------------------------------------------------------- codecs
+
+
+class Codec:
+    """A named message codec selectable through the ``codec=`` knob.
+
+    ``encode_message``/``decode_message``/``frame_message`` are the per-codec
+    entry points; control frames (handshakes, registry traffic) always use
+    the JSON :func:`encode_control`/:func:`decode_control` pair so that codec
+    negotiation itself is codec-independent.  ``body_first`` is the one byte
+    every message body of this codec starts with, used by
+    :class:`FrameDecoder` to reject foreign frames loudly; ``batched`` marks
+    the codec as eligible for hop-level write batching (the JSON reference
+    codec keeps the one-write-per-frame behaviour its golden traces and
+    benchmarks were pinned with).
+    """
+
+    __slots__ = (
+        "name",
+        "encode_message",
+        "decode_message",
+        "frame_message",
+        "body_first",
+        "batched",
+    )
+
+    def __init__(self, name, encode, decode, frame_one, body_first, batched):
+        self.name = name
+        self.encode_message = encode
+        self.decode_message = decode
+        self.frame_message = frame_one
+        self.body_first = body_first
+        self.batched = batched
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Codec({self.name!r})"
+
+
+#: codec names accepted by ``get_codec`` and every ``codec=`` knob
+CODEC_NAMES = ("json", "binary")
+
+
+def get_codec(spec: "str | Codec | None" = None) -> Codec:
+    """Resolve a ``codec=`` knob value to a :class:`Codec` (default JSON)."""
+    if spec is None:
+        return JSON_CODEC
+    if isinstance(spec, Codec):
+        return spec
+    if spec == "json":
+        return JSON_CODEC
+    if spec == "binary":
+        return BINARY_CODEC
+    raise WireError(f"unknown codec {spec!r} (choose from {CODEC_NAMES})")
+
+
+def handshake_fields(codec: Codec) -> Dict[str, Any]:
+    """The codec-negotiation fields a connection handshake must carry."""
+    return {"codec": codec.name, "wire": WIRE_VERSION, "table": _TABLE_LEN}
+
+
+def check_handshake_codec(handshake: Dict[str, Any], codec: Codec) -> None:
+    """Validate a peer's handshake against this endpoint's codec.
+
+    Raises :class:`CodecMismatchError` when the peer negotiated a different
+    codec, or (for the binary codec) a different wire revision or string
+    table — the loud failure mode, instead of garbage frames later.
+    Handshakes without a ``codec`` field are from pre-codec peers and are
+    treated as JSON.
+    """
+    peer = handshake.get("codec", "json")
+    if peer != codec.name:
+        raise CodecMismatchError(
+            f"peer negotiated codec {peer!r} but this endpoint speaks {codec.name!r}"
+        )
+    if codec.name == "binary":
+        peer_wire = handshake.get("wire")
+        peer_table = handshake.get("table")
+        if peer_wire != WIRE_VERSION or peer_table != _TABLE_LEN:
+            raise CodecMismatchError(
+                f"peer speaks binary wire revision {peer_wire!r} with a "
+                f"{peer_table!r}-entry string table; this endpoint speaks "
+                f"revision {WIRE_VERSION} with {_TABLE_LEN} entries"
+            )
 
 
 # -------------------------------------------------------------------- framing
@@ -415,18 +1362,27 @@ class FrameDecoder:
     compacted once per :meth:`feed` call, so a burst of many frames costs one
     memmove instead of one per frame (``del buffer[:end]`` inside the loop
     made long-lived connections pay O(bytes x frames) per read).
+
+    When :attr:`codec` is set (receivers arm it once the connection
+    handshake has fixed the codec), every completed body's first byte is
+    checked against the codec's expected leading byte and a foreign frame
+    raises :class:`CodecMismatchError` — distinct from the plain
+    :class:`WireError` raised for truncated or oversized frames.
     """
 
-    __slots__ = ("_buffer",)
+    __slots__ = ("_buffer", "codec")
 
-    def __init__(self) -> None:
+    def __init__(self, codec: "Codec | str | None" = None) -> None:
         self._buffer = bytearray()
+        self.codec = get_codec(codec) if codec is not None else None
 
     def feed(self, data: bytes) -> List[bytes]:
         """Add received bytes; return every frame body completed by them."""
         self._buffer.extend(data)
         bodies: List[bytes] = []
         buffer = self._buffer
+        codec = self.codec
+        expected_first = codec.body_first if codec is not None else None
         offset = 0
         available = len(buffer)
         while available - offset >= _LENGTH.size:
@@ -436,7 +1392,14 @@ class FrameDecoder:
             end = offset + _LENGTH.size + length
             if available < end:
                 break
-            bodies.append(bytes(buffer[offset + _LENGTH.size:end]))
+            body = bytes(buffer[offset + _LENGTH.size:end])
+            if expected_first is not None and body and body[0] != expected_first:
+                raise CodecMismatchError(
+                    f"frame body begins with 0x{body[0]:02x} but this connection "
+                    f"negotiated the {codec.name!r} codec "
+                    f"(expected 0x{expected_first:02x})"
+                )
+            bodies.append(body)
             offset = end
         if offset:
             # single compaction: the consumed prefix goes away, the partial
@@ -457,3 +1420,17 @@ def iter_frames(data: bytes) -> Iterator[bytes]:
         yield body
     if decoder.pending_bytes:
         raise WireError(f"{decoder.pending_bytes} trailing bytes after the last frame")
+
+
+#: the tagged-JSON reference codec — golden-trace pinned, one write per frame
+JSON_CODEC = Codec("json", encode_message, decode_message, frame_message, 0x7B, False)
+
+#: the binary performance codec — interned strings, hop-level write batching
+BINARY_CODEC = Codec(
+    "binary",
+    encode_message_binary,
+    decode_message_binary,
+    frame_message_binary,
+    BINARY_VERSION,
+    True,
+)

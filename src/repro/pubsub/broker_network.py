@@ -48,12 +48,13 @@ class BrokerNetwork:
         matcher: str = "indexed",
         advertising: str = "incremental",
         transport=None,
+        codec=None,
     ):
         self.routing = routing
         self.link_latency = link_latency
         self.matcher = matcher
         self.advertising = advertising
-        self.network = Network(sim=sim, transport=transport)
+        self.network = Network(sim=sim, transport=transport, codec=codec)
         self.transport = self.network.transport
         self.sim = self.network.sim
         self.brokers: Dict[str, Broker] = {}
@@ -89,7 +90,9 @@ class BrokerNetwork:
         """Create a broker-to-broker link and register the peer relation on both ends."""
         if a not in self.brokers or b not in self.brokers:
             raise KeyError(f"both {a!r} and {b!r} must be brokers in this network")
-        link = self.network.connect(a, b, latency=latency if latency is not None else self.link_latency)
+        link = self.network.connect(
+            a, b, latency=latency if latency is not None else self.link_latency
+        )
         self.brokers[a].register_broker_peer(b)
         self.brokers[b].register_broker_peer(a)
         self._broker_edges.append((a, b))
@@ -103,14 +106,18 @@ class BrokerNetwork:
         self.attach_client(client, broker_name, latency=latency)
         return client
 
-    def attach_client(self, client: Client, broker_name: str, latency: Optional[float] = None) -> Link:
+    def attach_client(
+        self, client: Client, broker_name: str, latency: Optional[float] = None
+    ) -> Link:
         """Attach an existing client process to ``broker_name`` and connect its local broker."""
         if broker_name not in self.brokers:
             raise KeyError(f"{broker_name!r} is not a broker in this network")
         if client.name not in self.network.processes:
             self.network.add_process(client)
             self.clients[client.name] = client
-        link = self.network.connect(client.name, broker_name, latency=latency if latency is not None else self.link_latency)
+        link = self.network.connect(
+            client.name, broker_name, latency=latency if latency is not None else self.link_latency
+        )
         client.connect_to(broker_name)
         return link
 
@@ -120,7 +127,9 @@ class BrokerNetwork:
 
     def connect_processes(self, a: str, b: str, latency: Optional[float] = None) -> Link:
         """Create a link between two arbitrary registered processes."""
-        return self.network.connect(a, b, latency=latency if latency is not None else self.link_latency)
+        return self.network.connect(
+            a, b, latency=latency if latency is not None else self.link_latency
+        )
 
     # -------------------------------------------------------------- validation
     def validate(self) -> None:
@@ -206,13 +215,27 @@ class BrokerNetwork:
 # ----------------------------------------------------------------- topologies
 
 
-def line_topology(sim: Optional[Simulator] = None, n_brokers: int = 2, routing: str = "simple",
-                  link_latency: float = 0.001, prefix: str = "B",
-                  matcher: str = "indexed", advertising: str = "incremental",
-                  transport=None) -> BrokerNetwork:
+def line_topology(
+    sim: Optional[Simulator] = None,
+    n_brokers: int = 2,
+    routing: str = "simple",
+    link_latency: float = 0.001,
+    prefix: str = "B",
+    matcher: str = "indexed",
+    advertising: str = "incremental",
+    transport=None,
+    codec=None,
+) -> BrokerNetwork:
     """Brokers connected in a chain: B1 - B2 - ... - Bn."""
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising, transport=transport)
+    net = BrokerNetwork(
+        sim,
+        routing=routing,
+        link_latency=link_latency,
+        matcher=matcher,
+        advertising=advertising,
+        transport=transport,
+        codec=codec,
+    )
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
         net.add_broker(name)
@@ -222,13 +245,27 @@ def line_topology(sim: Optional[Simulator] = None, n_brokers: int = 2, routing: 
     return net
 
 
-def star_topology(sim: Optional[Simulator] = None, n_leaves: int = 2, routing: str = "simple",
-                  link_latency: float = 0.001, prefix: str = "B",
-                  matcher: str = "indexed", advertising: str = "incremental",
-                  transport=None) -> BrokerNetwork:
+def star_topology(
+    sim: Optional[Simulator] = None,
+    n_leaves: int = 2,
+    routing: str = "simple",
+    link_latency: float = 0.001,
+    prefix: str = "B",
+    matcher: str = "indexed",
+    advertising: str = "incremental",
+    transport=None,
+    codec=None,
+) -> BrokerNetwork:
     """One hub broker connected to ``n_leaves`` border brokers."""
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising, transport=transport)
+    net = BrokerNetwork(
+        sim,
+        routing=routing,
+        link_latency=link_latency,
+        matcher=matcher,
+        advertising=advertising,
+        transport=transport,
+        codec=codec,
+    )
     hub = net.add_broker(f"{prefix}0")
     for i in range(n_leaves):
         leaf = net.add_broker(f"{prefix}{i + 1}")
@@ -237,16 +274,30 @@ def star_topology(sim: Optional[Simulator] = None, n_leaves: int = 2, routing: s
     return net
 
 
-def balanced_tree_topology(sim: Optional[Simulator] = None, branching: int = 2, depth: int = 1,
-                           routing: str = "simple",
-                           link_latency: float = 0.001, prefix: str = "B",
-                           matcher: str = "indexed", advertising: str = "incremental",
-                           transport=None) -> BrokerNetwork:
+def balanced_tree_topology(
+    sim: Optional[Simulator] = None,
+    branching: int = 2,
+    depth: int = 1,
+    routing: str = "simple",
+    link_latency: float = 0.001,
+    prefix: str = "B",
+    matcher: str = "indexed",
+    advertising: str = "incremental",
+    transport=None,
+    codec=None,
+) -> BrokerNetwork:
     """A balanced tree of brokers with the given branching factor and depth."""
     if branching < 1 or depth < 0:
         raise ValueError("branching must be >= 1 and depth >= 0")
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising, transport=transport)
+    net = BrokerNetwork(
+        sim,
+        routing=routing,
+        link_latency=link_latency,
+        matcher=matcher,
+        advertising=advertising,
+        transport=transport,
+        codec=codec,
+    )
     counter = 0
 
     def make(depth_left: int, parent: Optional[str]) -> None:
@@ -265,14 +316,29 @@ def balanced_tree_topology(sim: Optional[Simulator] = None, branching: int = 2, 
     return net
 
 
-def random_tree_topology(sim: Optional[Simulator] = None, n_brokers: int = 2, routing: str = "simple",
-                         link_latency: float = 0.001, seed: int = 0, prefix: str = "B",
-                         matcher: str = "indexed", advertising: str = "incremental",
-                         transport=None) -> BrokerNetwork:
+def random_tree_topology(
+    sim: Optional[Simulator] = None,
+    n_brokers: int = 2,
+    routing: str = "simple",
+    link_latency: float = 0.001,
+    seed: int = 0,
+    prefix: str = "B",
+    matcher: str = "indexed",
+    advertising: str = "incremental",
+    transport=None,
+    codec=None,
+) -> BrokerNetwork:
     """A uniformly random tree over ``n_brokers`` brokers (random attachment)."""
     rng = random.Random(seed)
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising, transport=transport)
+    net = BrokerNetwork(
+        sim,
+        routing=routing,
+        link_latency=link_latency,
+        matcher=matcher,
+        advertising=advertising,
+        transport=transport,
+        codec=codec,
+    )
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
         net.add_broker(name)
@@ -283,20 +349,34 @@ def random_tree_topology(sim: Optional[Simulator] = None, n_brokers: int = 2, ro
     return net
 
 
-def grid_border_topology(sim: Optional[Simulator] = None, rows: int = 1, cols: int = 2,
-                         routing: str = "simple",
-                         link_latency: float = 0.001, prefix: str = "B",
-                         matcher: str = "indexed", advertising: str = "incremental",
-                         transport=None) -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
-    """A broker per grid cell, connected as a spanning tree (row backbones joined by the first column).
+def grid_border_topology(
+    sim: Optional[Simulator] = None,
+    rows: int = 1,
+    cols: int = 2,
+    routing: str = "simple",
+    link_latency: float = 0.001,
+    prefix: str = "B",
+    matcher: str = "indexed",
+    advertising: str = "incremental",
+    transport=None,
+    codec=None,
+) -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
+    """A broker per grid cell as a spanning tree (row backbones joined by the first column).
 
     Returns the network and a mapping from ``(row, col)`` cells to broker
     names.  The physical adjacency of the grid (4-neighbourhood) is what
     movement graphs are typically built from, while the broker *network*
     stays an acyclic tree as the paper requires.
     """
-    net = BrokerNetwork(sim, routing=routing, link_latency=link_latency, matcher=matcher,
-                        advertising=advertising, transport=transport)
+    net = BrokerNetwork(
+        sim,
+        routing=routing,
+        link_latency=link_latency,
+        matcher=matcher,
+        advertising=advertising,
+        transport=transport,
+        codec=codec,
+    )
     cells: Dict[Tuple[int, int], str] = {}
     for r in range(rows):
         for c in range(cols):

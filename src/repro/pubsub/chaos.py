@@ -87,6 +87,7 @@ def run_chaos_scenario(
     kill: bool = True,
     sever: bool = True,
     seed: Optional[int] = None,
+    codec=None,
 ) -> ChaosResult:
     """Run the chaos storyline on ``backend`` and return its metrics.
 
@@ -109,7 +110,7 @@ def run_chaos_scenario(
             f"chaos scenario needs a non-empty fault window: deep >= 1, got {deep} "
             "(a zero-length window would pass the provable-loss checks vacuously)"
         )
-    net = line_topology(n_brokers=3, routing="covering", transport=backend)
+    net = line_topology(n_brokers=3, routing="covering", transport=backend, codec=codec)
     phase_sec: Dict[str, float] = {}
     try:
         s1 = net.add_client("s1", "B1")

@@ -247,14 +247,16 @@ class ExecutionResult:
 class _PlanRun:
     """Mutable execution state for one plan on one backend."""
 
-    def __init__(self, plan: ChaosPlan, backend: str, inject_bug: Optional[str]):
+    def __init__(
+        self, plan: ChaosPlan, backend: str, inject_bug: Optional[str], codec=None
+    ):
         if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
             raise ValueError(f"unknown injectable bug {inject_bug!r}; know {INJECTABLE_BUGS}")
         self.plan = plan
         self.params = plan.params
         self.inject_bug = inject_bug
         self.net = line_topology(
-            n_brokers=self.params.brokers, routing="covering", transport=backend
+            n_brokers=self.params.brokers, routing="covering", transport=backend, codec=codec
         )
         self.injector = FaultInjector(self.net.sim, self.net.network, seed=self.params.seed)
         self.down: set = set()
@@ -522,15 +524,16 @@ def _ids(client) -> Tuple[int, ...]:
 
 
 def execute_plan(
-    plan: ChaosPlan, backend: str = "sim", inject_bug: Optional[str] = None
+    plan: ChaosPlan, backend: str = "sim", inject_bug: Optional[str] = None, codec=None
 ) -> ExecutionResult:
     """Execute ``plan`` on ``backend`` and return observations + verdicts.
 
     ``inject_bug`` deliberately de-synchronises execution from the oracle
     (see :data:`INJECTABLE_BUGS`) so tests can prove the fuzzer catches and
-    shrinks real invariant violations.
+    shrinks real invariant violations.  ``codec`` selects the wire codec of
+    the socket backends (the simulator ignores it).
     """
-    return _PlanRun(plan, backend, inject_bug).run()
+    return _PlanRun(plan, backend, inject_bug, codec=codec).run()
 
 
 # ------------------------------------------------------------------ shrinking
@@ -637,6 +640,7 @@ def run_chaos_fuzz(
     backend: str = "sim",
     shrink: bool = True,
     inject_bug: Optional[str] = None,
+    codec=None,
 ) -> FuzzReport:
     """Generate, execute and judge the plan for ``seed`` on ``backend``.
 
@@ -646,7 +650,7 @@ def run_chaos_fuzz(
     failing schedule is attached to the report.
     """
     plan = generate_plan(seed)
-    result = execute_plan(plan, backend, inject_bug=inject_bug)
+    result = execute_plan(plan, backend, inject_bug=inject_bug, codec=codec)
     violations = list(result.violations)
     if backend != "sim":
         oracle = execute_plan(plan, "sim", inject_bug=inject_bug)
@@ -659,16 +663,18 @@ def run_chaos_fuzz(
     if violations and shrink:
         report.shrunk = shrink_plan(
             plan,
-            lambda candidate: _candidate_fails(candidate, backend, inject_bug),
+            lambda candidate: _candidate_fails(candidate, backend, inject_bug, codec),
             max_executions=64 if backend == "sim" else 24,
         )
     return report
 
 
-def _candidate_fails(plan: ChaosPlan, backend: str, inject_bug: Optional[str]) -> bool:
+def _candidate_fails(
+    plan: ChaosPlan, backend: str, inject_bug: Optional[str], codec=None
+) -> bool:
     """Shrink predicate: the candidate must fail on the *failing* backend —
     a cluster-only divergence can never be reproduced by a sim-only check."""
-    result = execute_plan(plan, backend, inject_bug=inject_bug)
+    result = execute_plan(plan, backend, inject_bug=inject_bug, codec=codec)
     if result.violations:
         return True
     if backend == "sim":
@@ -677,9 +683,11 @@ def _candidate_fails(plan: ChaosPlan, backend: str, inject_bug: Optional[str]) -
     return bool(check_convergence(oracle.delivered, result.delivered, candidate_name=backend))
 
 
-def sweep(seeds: Sequence[int], backend: str = "sim", shrink: bool = True) -> List[FuzzReport]:
+def sweep(
+    seeds: Sequence[int], backend: str = "sim", shrink: bool = True, codec=None
+) -> List[FuzzReport]:
     """Run a fuzz sweep; returns one report per seed, failures included."""
-    return [run_chaos_fuzz(seed, backend=backend, shrink=shrink) for seed in seeds]
+    return [run_chaos_fuzz(seed, backend=backend, shrink=shrink, codec=codec) for seed in seeds]
 
 
 # ----------------------------------------------------------------------- soak
@@ -731,6 +739,7 @@ def run_soak(
     min_iterations: int = 2,
     max_iterations: int = 10_000,
     mobility_every: int = 3,
+    codec=None,
 ) -> SoakResult:
     """Loop seeded chaos plans under a time budget, gating resource plateaus.
 
@@ -752,7 +761,7 @@ def run_soak(
         elapsed = time.perf_counter() - started
         if result.iterations >= min_iterations and elapsed >= budget_sec:
             break
-        report = run_chaos_fuzz(next_seed, backend=backend, shrink=False)
+        report = run_chaos_fuzz(next_seed, backend=backend, shrink=False, codec=codec)
         if (
             mobility_every
             and backend in ("sim", "asyncio")
@@ -761,7 +770,9 @@ def run_soak(
             # deferred import: mobility sits above pubsub in the layering
             from ..mobility.handover_workload import WorkloadSpec, run_handover_workload
 
-            outcome = run_handover_workload(backend, spec=WorkloadSpec.draw(next_seed))
+            outcome = run_handover_workload(
+                backend, spec=WorkloadSpec.draw(next_seed), codec=codec
+            )
             duplicates = {c.name: c.duplicates for c in outcome.clients}
             result.violations.extend(check_no_duplicates(duplicates))
         result.iterations += 1

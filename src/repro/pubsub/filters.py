@@ -456,7 +456,7 @@ class Filter:
     evaluation, so this is one of the hottest code paths in the system.
     """
 
-    __slots__ = ("_constraints", "_matches", "_key", "_hash", "_attrs")
+    __slots__ = ("_constraints", "_matches", "_key", "_hash", "_attrs", "_wire_json", "_wire_bin")
 
     def __init__(self, constraints: Iterable[Constraint] = ()):
         self._constraints: Tuple[Constraint, ...] = tuple(constraints)
@@ -464,6 +464,10 @@ class Filter:
         self._key: Optional[Tuple] = None
         self._hash: Optional[int] = None
         self._attrs: Optional[frozenset] = None
+        # per-codec wire fragments, cached by repro.net.wire (filters are
+        # immutable); never part of equality or hashing
+        self._wire_json: Optional[str] = None
+        self._wire_bin: Optional[bytes] = None
 
     # ------------------------------------------------------------- evaluation
     def matches(self, notification: Mapping[str, Any]) -> bool:

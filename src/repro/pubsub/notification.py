@@ -30,7 +30,15 @@ class Notification(Mapping[str, Any]):
         Name of the publishing client (informational; routing never uses it).
     """
 
-    __slots__ = ("_attributes", "notification_id", "published_at", "publisher", "_wire")
+    __slots__ = (
+        "_attributes",
+        "notification_id",
+        "published_at",
+        "publisher",
+        "_wire",
+        "_wire_bin",
+        "_esize",
+    )
 
     def __init__(
         self,
@@ -40,13 +48,17 @@ class Notification(Mapping[str, Any]):
         notification_id: Optional[int] = None,
     ):
         self._attributes: Dict[str, Any] = dict(attributes)
-        self.notification_id = notification_id if notification_id is not None else next(_notification_ids)
+        self.notification_id = (
+            notification_id if notification_id is not None else next(_notification_ids)
+        )
         self.published_at = published_at
         self.publisher = publisher
-        # Canonical wire-encoded JSON fragment, filled in lazily by
-        # repro.net.wire so forwarding hops don't re-serialize an immutable
+        # Canonical wire-encoded fragments (one per codec), filled in lazily
+        # by repro.net.wire so forwarding hops don't re-serialize an immutable
         # payload once per outgoing link.  Never part of equality or hashing.
         self._wire: Optional[str] = None
+        self._wire_bin: Optional[bytes] = None
+        self._esize: Optional[int] = None
 
     # ------------------------------------------------------------- Mapping API
     def __getitem__(self, key: str) -> Any:
@@ -88,23 +100,36 @@ class Notification(Mapping[str, Any]):
         Used by the shared-buffer scheme of Sect. 4 ("virtual clients can keep
         only the digest (e.g., IDs or hash) of the events").
         """
-        return hash((self.notification_id, tuple(sorted(self._attributes.items(), key=lambda kv: kv[0]))))
+        return hash(
+            (self.notification_id, tuple(sorted(self._attributes.items(), key=lambda kv: kv[0])))
+        )
 
     def estimated_size(self) -> int:
-        """Abstract size in bytes, used for buffer-memory metrics."""
-        total = 24
-        for key, value in self._attributes.items():
-            total += len(key)
-            if isinstance(value, str):
-                total += len(value)
-            else:
-                total += 8
+        """Abstract size in bytes, used for buffer-memory metrics.
+
+        Memoized: attributes are immutable, and every forwarding hop wraps
+        the same notification in a fresh envelope whose size estimate walks
+        the payload again.
+        """
+        total = self._esize
+        if total is None:
+            total = 24
+            for key, value in self._attributes.items():
+                total += len(key)
+                if isinstance(value, str):
+                    total += len(value)
+                else:
+                    total += 8
+            self._esize = total
         return total
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Notification):
             return NotImplemented
-        return self.notification_id == other.notification_id and self._attributes == other._attributes
+        return (
+            self.notification_id == other.notification_id
+            and self._attributes == other._attributes
+        )
 
     def __hash__(self) -> int:
         return self.digest()

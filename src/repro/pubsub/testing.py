@@ -73,6 +73,7 @@ class LineWorkloadResult:
     notifications: int
     wall_sec: float
     subscribers: List[SubscriberOutcome]
+    codec: str = "json"
 
     @property
     def delivered(self) -> int:
@@ -97,6 +98,7 @@ def run_line_workload(
     topic: str = "demo",
     payload_pad: str = "",
     observer=None,
+    codec=None,
 ) -> LineWorkloadResult:
     """Run the canonical transport workload on ``backend`` and verify it.
 
@@ -113,10 +115,13 @@ def run_line_workload(
     from .filters import AtLeast, Equals, Filter
     from .notification import Notification
 
+    from ..net import wire
+
     net = line_topology(
         n_brokers=brokers,
         transport=backend,
         link_latency=0.001 if backend == "sim" else 0.0,
+        codec=codec,
     )
     try:
         subscribers = []
@@ -159,6 +164,7 @@ def run_line_workload(
             notifications=notifications,
             wall_sec=wall,
             subscribers=outcomes,
+            codec=wire.get_codec(codec).name,
         )
     finally:
         # ``observer`` (e.g. the cluster-demo CLI) gets the network just
