@@ -1,0 +1,209 @@
+"""Control-plane benchmark: metrics overhead budget + live-flip correctness.
+
+Two sweeps, both self-gating (the benchmark exits non-zero when its own
+acceptance criteria fail, independent of ``compare.py``):
+
+* ``controlplane_overhead`` — the headline ``bench_transport`` line workload
+  on the asyncio backend, once with live metrics on (the default) and once
+  with ``metrics=False`` (the registry hands out shared no-op instruments).
+  The two arms run interleaved and the gated statistic is the *minimum of
+  per-pair wall ratios* — the lower bound on the systematic overhead,
+  which a real hot-path cost shifts on every pair but a scheduler noise
+  spike cannot flake; the record's ``speedup`` metric is its inverse —
+  values near (or above) 1.0 mean the instrumentation is free — and the
+  run *fails* beyond ``--overhead-budget`` (default 5%).  ``compare.py``
+  threshold-gates ``speedup`` and exact-gates the deterministic
+  ``*_count`` delivery totals.
+* ``matcher_flip`` — ``run_flip_workload``: every broker is flipped live to
+  the opposite matcher *and* advertising mode mid-traffic (frames genuinely
+  in flight on the socket backends), and the delivered value-sets must be
+  identical to a never-flipped simulator oracle.  ``delivered_count``,
+  ``expected_count`` and ``oracle_divergence_count`` (always 0) are
+  exact-gated by ``compare.py``; the cluster backend joins on the full
+  sweep.
+
+Emits ``BENCH_controlplane.json`` (see ``--output``).  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_controlplane.py          # full sweep
+    PYTHONPATH=src python benchmarks/bench_controlplane.py --fast   # CI smoke
+    python benchmarks/compare.py BENCH_controlplane.json new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.config import SystemConfig  # noqa: E402
+from repro.pubsub.testing import run_flip_workload, run_line_workload  # noqa: E402
+
+
+def run_overhead(brokers: int, notifications: int, repeats: int, budget: float):
+    """Metrics on vs off on the asyncio backend; returns (record, failures).
+
+    The two arms run *interleaved* (on, off, on, off, ...) and the gated
+    statistic is the MINIMUM of the per-pair wall ratios — the lower bound
+    on the systematic overhead.  A real hot-path cost shifts *every* pair's
+    ratio, so the minimum still catches it; a scheduler noise spike only
+    inflates some pairs and cannot flake the gate (sub-second socket walls
+    on shared machines routinely jitter by more than the 5% budget, so any
+    mean/median/best-of statistic would).
+    """
+    failures = []
+
+    def one(enabled: bool):
+        return run_line_workload(
+            "asyncio",
+            brokers,
+            notifications,
+            topic="bench",
+            payload_pad="x" * 32,
+            config=SystemConfig(metrics=enabled),
+        )
+
+    ratios = []
+    on_best = off_best = None
+    for _ in range(max(3, repeats)):
+        on, off = one(True), one(False)
+        if on.mismatches or off.mismatches:
+            failures.append(
+                f"overhead sweep missed deliveries "
+                f"(on={on.mismatches}, off={off.mismatches} subscribers)"
+            )
+        if on.delivered != off.delivered:
+            failures.append(
+                f"metrics on/off changed delivery totals: {on.delivered} vs {off.delivered}"
+            )
+        ratios.append(on.wall_sec / off.wall_sec)
+        if on_best is None or on.wall_sec < on_best.wall_sec:
+            on_best = on
+        if off_best is None or off.wall_sec < off_best.wall_sec:
+            off_best = off
+    overhead = min(ratios) - 1.0
+    if overhead > budget:
+        failures.append(
+            f"metrics overhead {overhead:+.1%} exceeds the {budget:.0%} budget "
+            f"(minimum of {len(ratios)} paired on/off wall ratios — every pair paid it)"
+        )
+    metrics = {
+        "wall_metrics_on_sec": on_best.wall_sec,
+        "wall_metrics_off_sec": off_best.wall_sec,
+        # compare.py gates speedup (higher is better); clamped at 1.0 so
+        # "free" always records the same baseline and only a genuine
+        # hot-path leak (overhead > 0 on every pair) can sink it
+        "speedup": min(1.0, 1.0 / (1.0 + overhead)),
+        "delivered_count": on_best.delivered,
+        "expected_count": on_best.expected,
+    }
+    record = {
+        "sweep": "controlplane_overhead",
+        "config": {"backend": "asyncio", "brokers": brokers, "notifications": notifications},
+        "metrics": metrics,
+    }
+    print(
+        f"overhead  asyncio  brokers={brokers} n={notifications:<6} "
+        f"on={on_best.wall_sec:7.3f}s off={off_best.wall_sec:7.3f}s "
+        f"overhead={overhead:+6.1%} (budget {budget:.0%}, min of {len(ratios)} pairs)"
+    )
+    return record, failures
+
+
+def run_flip(backend: str, brokers: int, notifications: int, oracle):
+    """Live-flip workload vs the never-flipped sim oracle; returns (record, failures)."""
+    failures = []
+    flipped = run_flip_workload(backend, brokers, notifications)
+    if flipped.mismatches:
+        failures.append(f"{backend}: {flipped.mismatches} subscriber(s) missed notifications")
+    divergences = sum(
+        1
+        for name, values in oracle.delivered_values.items()
+        if flipped.delivered_values.get(name) != values
+    )
+    if divergences:
+        failures.append(
+            f"{backend}: {divergences} subscriber(s) diverged from the never-flipped oracle"
+        )
+    metrics = {
+        "wall_sec": flipped.wall_sec,
+        "delivered_count": flipped.delivered,
+        "expected_count": flipped.expected,
+        "oracle_divergence_count": divergences,
+        "brokers_flipped_count": len(flipped.applied),
+    }
+    record = {
+        "sweep": "matcher_flip",
+        "config": {"backend": backend, "brokers": brokers, "notifications": notifications},
+        "metrics": metrics,
+    }
+    print(
+        f"flip      {backend:<8} brokers={brokers} n={notifications:<6} "
+        f"wall={flipped.wall_sec:7.3f}s delivered={flipped.delivered}/{flipped.expected} "
+        f"divergences={divergences}"
+    )
+    return record, failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fast", action="store_true", help="small sweep for CI smoke runs")
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="runs per overhead arm; the best one is recorded (default: 5)",
+    )
+    parser.add_argument(
+        "--overhead-budget",
+        type=float,
+        default=0.05,
+        help="maximum tolerated metrics overhead as a fraction (default: 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_controlplane.json"),
+    )
+    args = parser.parse_args(argv)
+
+    # fast mode keeps the (3, 600) records so their config keys match the
+    # committed full-sweep baseline and compare.py finds shared records
+    configs = [(3, 600)]
+    if not args.fast:
+        configs.append((5, 2000))
+
+    results = []
+    failures = []
+    for brokers, notifications in configs:
+        record, errors = run_overhead(brokers, notifications, args.repeats, args.overhead_budget)
+        results.append(record)
+        failures.extend(errors)
+
+        oracle = run_flip_workload("sim", brokers, notifications, changes={})
+        backends = ["sim", "asyncio"]
+        if not args.fast and (brokers, notifications) == (5, 2000):
+            backends.append("cluster")  # the headline cross-process config
+        for backend in backends:
+            record, errors = run_flip(backend, brokers, notifications, oracle)
+            results.append(record)
+            failures.extend(errors)
+
+    payload = {
+        "benchmark": "controlplane",
+        "mode": "fast" if args.fast else "full",
+        "results": results,
+    }
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    if not failures:
+        print("metrics overhead within budget; flips matched the oracle on every backend")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,12 @@ without writing code:
   shrink any failing schedule to a minimal repro;
 * ``repro soak`` — loop seeded chaos scenarios under a time budget and
   assert that fds, RSS and every routing/transport resource plateau;
+* ``repro metrics`` — run the line workload and dump the control-plane
+  metrics snapshot (per-broker counters, histograms and gauges plus the
+  transport's own instruments), human-readable or ``--json``;
+* ``repro top`` — drive a live broker fabric and render a refreshing
+  per-broker rates table (matches/s, forwards/s, deliveries/s, routing
+  table and duplicate-buffer gauges) for a bounded number of frames;
 * ``repro info`` — show the system inventory: packages, experiments,
   scenarios, and the paper-to-module map.
 
@@ -48,14 +54,41 @@ _EXAMPLES = {
 }
 
 
-def _add_codec_argument(parser: argparse.ArgumentParser) -> None:
+def _add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared fabric knobs, resolved via ``SystemConfig.from_args``.
+
+    Every subcommand that boots brokers takes the same flags and folds them
+    into one validated :class:`~repro.config.SystemConfig` instead of
+    hand-assembling a knob tuple per command.
+    """
     parser.add_argument(
         "--codec",
         choices=("json", "binary"),
-        default="json",
+        default=None,
         help="wire codec of the socket backends: tagged-JSON reference or the "
         "compact binary codec with hop-level write batching; the simulator "
         "moves object references and ignores the choice (default: json)",
+    )
+    parser.add_argument(
+        "--matcher",
+        choices=("brute", "indexed"),
+        default=None,
+        help="routing-table matching strategy (default: indexed)",
+    )
+    parser.add_argument(
+        "--advertising",
+        choices=("scan", "incremental"),
+        default=None,
+        help="subscription-control implementation (default: incremental)",
+    )
+    parser.add_argument(
+        "--set",
+        metavar="KEY=VALUE",
+        action="append",
+        default=[],
+        help="override any SystemConfig field (repeatable), e.g. "
+        "--set flush_cap=4096 --set metrics=off; the chaos family consumes "
+        "only the codec field for now",
     )
 
 
@@ -102,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     net_demo.add_argument(
         "--publishes", type=int, default=20, help="notifications to publish (default: 20)"
     )
-    _add_codec_argument(net_demo)
+    _add_fabric_arguments(net_demo)
 
     cluster_demo = subparsers.add_parser(
         "cluster-demo",
@@ -114,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_demo.add_argument(
         "--publishes", type=int, default=40, help="notifications to publish (default: 40)"
     )
-    _add_codec_argument(cluster_demo)
+    _add_fabric_arguments(cluster_demo)
 
     mobility_demo = subparsers.add_parser(
         "mobility-demo",
@@ -141,7 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
         help='shadow-placement policy: "nlb", "nlb-<k>", "flooding", "none", "markov" '
         "(default: nlb)",
     )
-    _add_codec_argument(mobility_demo)
+    _add_fabric_arguments(mobility_demo)
 
     chaos_demo = subparsers.add_parser(
         "chaos-demo",
@@ -173,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="draw the publication values from this seed instead of the pinned "
         "storyline (the seed is printed on success and on divergence)",
     )
-    _add_codec_argument(chaos_demo)
+    _add_fabric_arguments(chaos_demo)
 
     chaos_fuzz = subparsers.add_parser(
         "chaos-fuzz",
@@ -200,7 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report failures without shrinking the schedule first",
     )
-    _add_codec_argument(chaos_fuzz)
+    _add_fabric_arguments(chaos_fuzz)
 
     soak = subparsers.add_parser(
         "soak",
@@ -221,10 +254,73 @@ def build_parser() -> argparse.ArgumentParser:
     soak.add_argument(
         "--seed", type=int, default=0, help="seed of the first iteration (default: 0)"
     )
-    _add_codec_argument(soak)
+    _add_fabric_arguments(soak)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run the line workload and dump the control-plane metrics snapshot",
+    )
+    metrics.add_argument(
+        "--backend",
+        choices=("sim", "asyncio", "cluster"),
+        default="sim",
+        help="transport backend to instrument (default: sim)",
+    )
+    metrics.add_argument(
+        "--brokers", type=int, default=3, help="brokers in the line topology (default: 3)"
+    )
+    metrics.add_argument(
+        "--publishes", type=int, default=20, help="notifications to publish (default: 20)"
+    )
+    metrics.add_argument(
+        "--json", action="store_true", help="print the raw snapshot as JSON (machine-readable)"
+    )
+    _add_fabric_arguments(metrics)
+
+    top = subparsers.add_parser(
+        "top",
+        help="drive a live fabric and render a refreshing per-broker rates table",
+    )
+    top.add_argument(
+        "--backend",
+        choices=("sim", "asyncio", "cluster"),
+        default="cluster",
+        help="transport backend to watch (default: cluster — one OS process per broker)",
+    )
+    top.add_argument(
+        "--brokers", type=int, default=3, help="brokers in the line topology (default: 3)"
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=3,
+        help="refresh frames to render before exiting (bounded so CI can run it; default: 3)",
+    )
+    top.add_argument(
+        "--batch",
+        type=int,
+        default=50,
+        help="notifications published per frame (default: 50)",
+    )
+    _add_fabric_arguments(top)
 
     subparsers.add_parser("info", help="show the system inventory")
     return parser
+
+
+def _fabric_config(args: argparse.Namespace, command: str, transport: Optional[str] = None):
+    """Resolve the shared fabric flags into one validated ``SystemConfig``.
+
+    Returns ``None`` after printing a usage error (unknown ``--set`` key,
+    malformed value, ...) so the caller can exit 2 without a traceback.
+    """
+    from .config import SystemConfig
+
+    try:
+        return SystemConfig.from_args(args, transport=transport)
+    except ValueError as exc:
+        print(f"{command}: {exc}", file=sys.stderr)
+        return None
 
 
 def _command_experiments(args: argparse.Namespace) -> int:
@@ -278,12 +374,15 @@ def _command_net_demo(args: argparse.Namespace) -> int:
         return 2
 
     backend = args.backend
+    config = _fabric_config(args, "net-demo")
+    if config is None:
+        return 2
     print(
         f"net-demo: {args.brokers} brokers in a line on the {backend!r} backend"
         + (" (localhost TCP sockets, wire-framed messages)" if backend == "asyncio" else
            " (deterministic discrete-event simulator)")
     )
-    result = run_line_workload(backend, args.brokers, args.publishes, codec=args.codec)
+    result = run_line_workload(backend, args.brokers, args.publishes, config=config)
     print(f"published {args.publishes} notifications from B1 ({result.codec} codec)")
     for outcome in result.subscribers:
         latencies = sorted(outcome.latencies)
@@ -325,6 +424,9 @@ def _command_cluster_demo(args: argparse.Namespace) -> int:
         print("cluster-demo needs at least 1 publish", file=sys.stderr)
         return 2
 
+    config = _fabric_config(args, "cluster-demo", transport="cluster")
+    if config is None:
+        return 2
     print(
         f"cluster-demo: {args.brokers} broker processes in a line "
         "(one OS process per broker, TCP registry discovery, wire-framed links)"
@@ -338,7 +440,7 @@ def _command_cluster_demo(args: argparse.Namespace) -> int:
         print("broker processes: " + ", ".join(f"{n}={pid}" for n, pid in sorted(pids.items())))
 
     result = run_line_workload(
-        "cluster", args.brokers, args.publishes, observer=observer, codec=args.codec
+        "cluster", args.brokers, args.publishes, observer=observer, config=config
     )
     print(f"published {args.publishes} notifications from B1")
     for outcome in result.subscribers:
@@ -393,6 +495,11 @@ def _command_mobility_demo(args: argparse.Namespace) -> int:
         return 2
 
     backends = ("sim", "asyncio") if args.backend == "both" else (args.backend,)
+    # --backend may be "both", which is not a transport name; the workload
+    # re-anchors config.transport per backend it actually runs
+    config = _fabric_config(args, "mobility-demo", transport="sim")
+    if config is None:
+        return 2
     print(
         f"mobility-demo: {args.brokers} border brokers + replicators, "
         f"predictor={args.predictor!r}, backends: {', '.join(backends)}"
@@ -403,7 +510,7 @@ def _command_mobility_demo(args: argparse.Namespace) -> int:
             brokers=args.brokers,
             publishes_per_phase=args.publishes,
             predictor=args.predictor,
-            codec=args.codec,
+            config=config,
         )
     except ValueError as exc:
         # e.g. an unknown --predictor spec: a clean usage error, not a traceback
@@ -445,6 +552,10 @@ def _command_chaos_demo(args: argparse.Namespace) -> int:
     """
     from .pubsub.chaos import ChaosError, run_chaos_scenario
 
+    # the chaos family consumes only the codec field of the config for now
+    config = _fabric_config(args, "chaos-demo")
+    if config is None:
+        return 2
     kill, sever = not args.no_kill, not args.no_sever
     backends = ("sim",) if args.backend == "sim" else ("sim", args.backend)
     seed_note = "pinned storyline" if args.seed is None else f"seed={args.seed}"
@@ -457,7 +568,7 @@ def _command_chaos_demo(args: argparse.Namespace) -> int:
         try:
             result = run_chaos_scenario(
                 backend, temps=args.temps, deep=args.deep, kill=kill, sever=sever,
-                seed=args.seed, codec=args.codec,
+                seed=args.seed, codec=config.codec,
             )
         except ValueError as exc:
             # degenerate burst sizes (e.g. an empty fault window) are usage errors
@@ -509,6 +620,9 @@ def _command_chaos_fuzz(args: argparse.Namespace) -> int:
     if args.seeds < 1:
         print("chaos-fuzz needs at least 1 seed", file=sys.stderr)
         return 2
+    config = _fabric_config(args, "chaos-fuzz")
+    if config is None:
+        return 2
     print(
         f"chaos-fuzz: {args.seeds} seed(s) starting at {args.seed} "
         f"on {args.backend!r}"
@@ -516,7 +630,7 @@ def _command_chaos_fuzz(args: argparse.Namespace) -> int:
     failures = 0
     for seed in range(args.seed, args.seed + args.seeds):
         report = run_chaos_fuzz(
-            seed, backend=args.backend, shrink=not args.no_shrink, codec=args.codec
+            seed, backend=args.backend, shrink=not args.no_shrink, codec=config.codec
         )
         print("  " + report.summary())
         if not report.ok:
@@ -547,9 +661,12 @@ def _command_soak(args: argparse.Namespace) -> int:
     if args.budget_sec <= 0:
         print("soak needs a positive --budget-sec", file=sys.stderr)
         return 2
+    config = _fabric_config(args, "soak")
+    if config is None:
+        return 2
     print(f"soak: {args.backend!r} backend for ~{args.budget_sec:.0f}s, seed {args.seed}+")
     result = run_soak(
-        backend=args.backend, budget_sec=args.budget_sec, seed=args.seed, codec=args.codec
+        backend=args.backend, budget_sec=args.budget_sec, seed=args.seed, codec=config.codec
     )
     plateau = ", ".join(
         f"{key}={value}" for key, value in sorted(result.plateau_final.items())
@@ -570,6 +687,152 @@ def _command_soak(args: argparse.Namespace) -> int:
         return 1
     print("resource plateaus held across all iterations: OK")
     return 0
+
+
+def _command_metrics(args: argparse.Namespace) -> int:
+    """One-shot control-plane dump: run the line workload, print the snapshot.
+
+    The snapshot is gathered through ``Transport.metrics_snapshot()`` just
+    before teardown — in-process for sim/asyncio, over the registry control
+    channel for the cluster backend — so ``--json`` against ``--backend
+    cluster`` exercises the full remote metrics path.
+    """
+    import json
+
+    from .pubsub.testing import run_line_workload
+
+    if args.brokers < 2:
+        print("metrics needs at least 2 brokers", file=sys.stderr)
+        return 2
+    if args.publishes < 1:
+        print("metrics needs at least 1 publish", file=sys.stderr)
+        return 2
+    config = _fabric_config(args, "metrics")
+    if config is None:
+        return 2
+
+    captured = {}
+
+    def observer(net):
+        captured["snapshot"] = net.transport.metrics_snapshot()
+
+    result = run_line_workload(
+        args.backend, args.brokers, args.publishes, observer=observer, config=config
+    )
+    snapshot = captured["snapshot"]
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 1 if result.mismatches else 0
+    print(
+        f"metrics: {args.brokers} brokers on {args.backend!r} after "
+        f"{args.publishes} publishes\n  fabric: {config.describe()}"
+    )
+    transport_gauges = snapshot["transport"].get("gauges", {})
+    transport_counters = snapshot["transport"].get("counters", {})
+    if transport_counters or transport_gauges:
+        print("  transport:")
+        for key, value in sorted(transport_counters.items()):
+            print(f"    {key:<36} {value}")
+        for key, value in sorted(transport_gauges.items()):
+            print(f"    {key:<36} {value}  (gauge)")
+    for name, broker in sorted(snapshot["brokers"].items()):
+        print(f"  {name}:")
+        for key, value in sorted(broker["counters"].items()):
+            if value:
+                print(f"    {key:<36} {value}")
+        for key, stats in sorted(broker["histograms"].items()):
+            if stats.get("count"):
+                mean = stats["sum"] / stats["count"]
+                print(f"    {key:<36} count={stats['count']} mean={mean:.0f} sum={stats['sum']}")
+        for key, value in sorted(broker["gauges"].items()):
+            print(f"    {key:<36} {value}  (gauge)")
+    if result.mismatches:
+        print(
+            f"metrics FAILED: {result.mismatches} subscriber(s) missed notifications",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _command_top(args: argparse.Namespace) -> int:
+    """Drive a live fabric and render per-broker rates, one frame at a time.
+
+    Each frame publishes a batch, drains to quiescence, snapshots the
+    control plane and prints the per-broker counter *deltas* as rates over
+    the frame's wall time, next to the point-in-time gauges.  ``--frames``
+    bounds the loop so CI (and impatient humans) get a clean exit.
+    """
+    import time
+
+    from .pubsub.broker_network import line_topology
+    from .pubsub.filters import AtLeast, Equals, Filter
+    from .pubsub.notification import Notification
+
+    if args.brokers < 2:
+        print("top needs at least 2 brokers", file=sys.stderr)
+        return 2
+    if args.frames < 1 or args.batch < 1:
+        print("top needs at least 1 frame and a positive --batch", file=sys.stderr)
+        return 2
+    config = _fabric_config(args, "top", transport=args.backend)
+    if config is None:
+        return 2
+
+    print(f"top: {args.brokers} brokers on {args.backend!r} — {config.describe()}")
+    net = line_topology(
+        n_brokers=args.brokers,
+        link_latency=0.001 if args.backend == "sim" else 0.0,
+        config=config,
+    )
+    try:
+        for i, broker_name in enumerate(net.broker_names()):
+            client = net.add_client(f"sub@{broker_name}", broker_name)
+            client.subscribe(
+                Filter([Equals("topic", "top"), AtLeast("value", i * args.batch // 2)]),
+                sub_id=f"top-{broker_name}",
+            )
+        net.run_until_idle()
+        publisher = net.add_client("publisher", net.broker_names()[0])
+
+        previous: dict = {}
+        published = 0
+        for frame in range(args.frames):
+            start = time.perf_counter()
+            for _ in range(args.batch):
+                publisher.publish(Notification({"topic": "top", "value": published}))
+                published += 1
+            net.run_until_idle()
+            elapsed = max(time.perf_counter() - start, 1e-9)
+            snapshot = net.transport.metrics_snapshot()
+            print(
+                f"-- frame {frame + 1}/{args.frames}: {args.batch} publishes "
+                f"in {elapsed * 1000:.1f}ms"
+            )
+            print(
+                f"   {'broker':<8} {'match/s':>9} {'fwd/s':>9} {'deliver/s':>9} "
+                f"{'routes':>7} {'dups':>6} {'fwd-subs':>8}"
+            )
+            for name, broker in sorted(snapshot["brokers"].items()):
+                counters, gauges = broker["counters"], broker["gauges"]
+                prev = previous.get(name, {})
+
+                def rate(key, _c=counters, _p=prev):
+                    return (_c.get(key, 0) - _p.get(key, 0)) / elapsed
+
+                print(
+                    f"   {name:<8} {rate('broker.matches'):>9.0f} "
+                    f"{rate('broker.forwards'):>9.0f} "
+                    f"{rate('broker.delivered_locally'):>9.0f} "
+                    f"{gauges.get('broker.routing_table_size', 0):>7} "
+                    f"{gauges.get('broker.duplicates_remembered', 0):>6} "
+                    f"{gauges.get('broker.forwarded_subscriptions', 0):>8}"
+                )
+                previous[name] = dict(counters)
+        print(f"top: published {published} notifications over {args.frames} frame(s)")
+        return 0
+    finally:
+        net.close()
 
 
 def _command_info() -> int:
@@ -609,6 +872,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_chaos_fuzz(args)
     if args.command == "soak":
         return _command_soak(args)
+    if args.command == "metrics":
+        return _command_metrics(args)
+    if args.command == "top":
+        return _command_top(args)
     if args.command == "info":
         return _command_info()
     parser.print_help()

@@ -70,6 +70,30 @@ class MobilitySystemConfig:
     wireless_latency: float = 0.002
     #: time for a device to associate with an access point
     connect_latency: float = 0.05
+    #: the fabric-level :class:`~repro.config.SystemConfig` this deployment
+    #: rides on.  When given, it fills in any ``matcher``/``advertising``/
+    #: ``transport`` field left ``None`` above; a field set on *both* objects
+    #: must agree, so one deployment can never carry two contradicting
+    #: sources of truth.
+    system: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.system is None:
+            return
+        from ..config import SystemConfig  # lazy: config imports the pubsub layer
+
+        if not isinstance(self.system, SystemConfig):
+            raise TypeError(f"system must be a SystemConfig, got {type(self.system).__name__}")
+        for knob in ("matcher", "advertising", "transport"):
+            mine = getattr(self, knob)
+            fabric = getattr(self.system, knob)
+            if mine is None:
+                setattr(self, knob, fabric)
+            elif mine != fabric:
+                raise ValueError(
+                    f"MobilitySystemConfig.{knob}={mine!r} contradicts "
+                    f"system.{knob}={fabric!r}; set the knob in one place"
+                )
 
 
 class MobilePubSub:

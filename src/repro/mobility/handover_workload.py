@@ -169,6 +169,7 @@ def run_handover_workload(
     connect_latency: float = 0.01,
     spec: Optional[WorkloadSpec] = None,
     codec=None,
+    config=None,
 ) -> HandoverWorkloadResult:
     """Run one member of the handover scenario family on one backend.
 
@@ -178,6 +179,11 @@ def run_handover_workload(
     is pinned, every phase runs to exact quiescence, and every mutation of
     the subscription state happens between phases — which is what makes the
     delivered multisets backend-invariant for *any* member of the family.
+
+    ``config`` is an optional :class:`~repro.config.SystemConfig` carrying
+    the fabric knobs (matcher, advertising, codec, ...); its ``transport``
+    field is overridden by ``backend``.  Mutually exclusive with the legacy
+    ``codec=`` kwarg.
     """
     if spec is None:
         spec = WorkloadSpec(
@@ -194,22 +200,33 @@ def run_handover_workload(
     rng = random.Random(spec.seed) if spec.randomized else None
     locations = [f"l{i + 1}" for i in range(brokers)]
     sim_backend = backend == "sim"
-    net = line_topology(
-        n_brokers=brokers,
-        transport=backend,
-        # the simulator keeps its default simulated latencies; on sockets the
-        # per-message latency floor would be real waiting, so run at raw speed
-        link_latency=0.001 if sim_backend else 0.0,
-        codec=codec,
-    )
-    config = MobilitySystemConfig(
+    if config is not None:
+        if codec is not None:
+            raise ValueError("pass the codec inside config=, not alongside it")
+        net = line_topology(
+            n_brokers=brokers,
+            # the simulator keeps its default simulated latencies; on sockets
+            # the per-message latency floor would be real waiting, so run at
+            # raw speed
+            link_latency=0.001 if sim_backend else 0.0,
+            config=config.replace(transport=backend),
+        )
+    else:
+        net = line_topology(
+            n_brokers=brokers,
+            transport=backend,
+            link_latency=0.001 if sim_backend else 0.0,
+            codec=codec,
+        )
+    mobility_config = MobilitySystemConfig(
         predictor=spec.predictor,
         connect_latency=spec.connect_latency,
         wireless_latency=0.002 if sim_backend else 0.0,
+        system=net.config,
     )
     space = _line_space(brokers)
     started = time.perf_counter()
-    system = MobilePubSub(None, net, space, config=config)
+    system = MobilePubSub(None, net, space, config=mobility_config)
     result = HandoverWorkloadResult(
         backend=backend,
         brokers=brokers,
@@ -361,13 +378,16 @@ def cross_check_backends(
     predictor: str = "nlb",
     spec: Optional[WorkloadSpec] = None,
     codec=None,
+    config=None,
 ) -> Tuple[Dict[str, HandoverWorkloadResult], List[str]]:
     """Run one family member on every backend and diff the delivered multisets.
 
     Returns the per-backend results and a (hopefully empty) list of
     mismatch descriptions; the first backend is the reference.  Pass a drawn
     :class:`WorkloadSpec` to cross-check a randomized member instead of the
-    legacy fixed scenario.
+    legacy fixed scenario, and/or a :class:`~repro.config.SystemConfig` to
+    cross-check under specific fabric knobs (each backend run overrides its
+    ``transport`` field).
     """
     results = {
         backend: run_handover_workload(
@@ -377,6 +397,7 @@ def cross_check_backends(
             predictor=predictor,
             spec=spec,
             codec=codec,
+            config=config,
         )
         for backend in backends
     }

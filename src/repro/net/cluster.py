@@ -58,6 +58,7 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from ..obs.metrics import NULL_COUNTER, NULL_HISTOGRAM
 from . import wire
 from .link import LinkStats
 from .process import LinkEndpoint, Message, Process
@@ -69,7 +70,13 @@ from .registry import (
     register_node,
     report_ready,
 )
-from .transport import FAULT_ACTIONS, AsyncioClock, Transport, TransportError
+from .transport import (
+    FAULT_ACTIONS,
+    RUNTIME_KNOBS,
+    AsyncioClock,
+    Transport,
+    TransportError,
+)
 from .wire import FrameDecoder
 
 
@@ -96,7 +103,17 @@ class _RemoteEndpoint(LinkEndpoint):
     backend.
     """
 
-    __slots__ = ("writer", "peer", "stats", "codec", "_buffer")
+    __slots__ = (
+        "writer",
+        "peer",
+        "stats",
+        "codec",
+        "_buffer",
+        "flush_cap",
+        "frames",
+        "wire_bytes",
+        "write_sizes",
+    )
 
     def __init__(self, writer: asyncio.StreamWriter, peer: str, codec: "wire.Codec | None" = None):
         self.writer = writer
@@ -104,13 +121,26 @@ class _RemoteEndpoint(LinkEndpoint):
         self.stats = LinkStats()
         self.codec = wire.get_codec(codec)
         self._buffer = bytearray()
+        #: buffer size that triggers an early flush mid-burst (``None`` = only
+        #: flush at burst boundaries); retuned live via the ``configure`` op
+        self.flush_cap: Optional[int] = None
+        # live wire instruments, bound by the owner from its metrics registry;
+        # the null singletons make the hot path branch-free when metrics are off
+        self.frames = NULL_COUNTER
+        self.wire_bytes = NULL_COUNTER
+        self.write_sizes = NULL_HISTOGRAM
 
     def transmit(self, message: Message) -> None:
         if self.writer.is_closing():
             self.stats.record_drop()
             return
         self.stats.record(message)
-        self._buffer += self.codec.frame_message(message)
+        frame = self.codec.frame_message(message)
+        self._buffer += frame
+        self.frames.inc()
+        self.wire_bytes.inc(len(frame))
+        if self.flush_cap is not None and len(self._buffer) >= self.flush_cap:
+            self.flush()
 
     def transmit_many(self, messages: List[Message]) -> None:
         if self.writer.is_closing():
@@ -120,7 +150,12 @@ class _RemoteEndpoint(LinkEndpoint):
         frame_message = self.codec.frame_message
         for message in messages:
             self.stats.record(message)
-            self._buffer += frame_message(message)
+            frame = frame_message(message)
+            self._buffer += frame
+            self.frames.inc()
+            self.wire_bytes.inc(len(frame))
+        if self.flush_cap is not None and len(self._buffer) >= self.flush_cap:
+            self.flush()
 
     def flush(self) -> None:
         """Hand every buffered frame to the socket in one write."""
@@ -128,6 +163,7 @@ class _RemoteEndpoint(LinkEndpoint):
             return
         if not self.writer.is_closing():
             self.writer.write(bytes(self._buffer))
+            self.write_sizes.observe(len(self._buffer))
         self._buffer.clear()
 
 
@@ -189,6 +225,11 @@ class _BrokerNode:
         #: a restarted node re-synchronises routing state over every link it
         #: (re-)establishes, instead of assuming the peers' tables are fresh
         self.resync_on_connect: bool = bool(spec.get("resync", False))
+        #: control-plane knobs shipped in the spec by :class:`SystemConfig`
+        #: (absent when the parent used legacy kwargs; defaults apply then)
+        self.config: Dict[str, Any] = dict(spec.get("config") or {})
+        self.flush_cap: Optional[int] = self.config.get("flush_cap")
+        self.metrics = None
         self.broker = None
         self.failure: Optional[BaseException] = None
         self.stop = asyncio.Event()
@@ -208,6 +249,16 @@ class _BrokerNode:
         self.stop.set()
 
     # ------------------------------------------------------------ link traffic
+    def _make_endpoint(self, writer: asyncio.StreamWriter, peer: str) -> _RemoteEndpoint:
+        """Build an outbound endpoint wired to this node's knobs and metrics."""
+        endpoint = _RemoteEndpoint(writer, peer, self.codec)
+        endpoint.flush_cap = self.flush_cap
+        if self.metrics is not None:
+            endpoint.frames = self.metrics.counter("transport.frames_sent")
+            endpoint.wire_bytes = self.metrics.counter("transport.bytes_sent")
+            endpoint.write_sizes = self.metrics.histogram("transport.socket_write_bytes")
+        return endpoint
+
     def _flush_endpoints(self) -> None:
         """Write out every frame the last dispatch burst buffered."""
         for endpoint in self.broker.links.values():
@@ -289,7 +340,7 @@ class _BrokerNode:
             # this codec's first byte
             decoder.codec = self.codec
             peer = handshake["peer"]
-            endpoint = _RemoteEndpoint(writer, peer, self.codec)
+            endpoint = self._make_endpoint(writer, peer)
             self.broker.attach_link(peer, endpoint)
             if handshake.get("kind") == "broker":
                 self.broker.register_broker_peer(peer)
@@ -341,7 +392,7 @@ class _BrokerNode:
             handshake["resync"] = True
         writer.write(wire.frame(wire.encode_control(handshake)))
         await writer.drain()
-        endpoint = _RemoteEndpoint(writer, peer, self.codec)
+        endpoint = self._make_endpoint(writer, peer)
         self.broker.attach_link(peer, endpoint)
         self.broker.register_broker_peer(peer)
         self._writers.append(writer)
@@ -382,6 +433,30 @@ class _BrokerNode:
                 continue
 
     # ---------------------------------------------------------------- control
+    def _set_flush_cap(self, cap: int) -> None:
+        """Retune the early-flush threshold of every live outbound link."""
+        if not isinstance(cap, int) or isinstance(cap, bool) or cap < 1:
+            raise ValueError(f"flush_cap must be a positive integer, got {cap!r}")
+        self.flush_cap = cap
+        for endpoint in self.broker.links.values():
+            if isinstance(endpoint, _RemoteEndpoint):
+                endpoint.flush_cap = cap
+
+    def _configure(self, changes: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply runtime knob changes shipped by the parent's ``configure`` op.
+
+        ``flush_cap`` is a node-level wire knob applied to this process's
+        endpoints; everything else is delegated to the broker's own verified
+        :meth:`~repro.pubsub.broker.Broker.reconfigure`.
+        """
+        changes = dict(changes)
+        flush_cap = changes.pop("flush_cap", None)
+        applied = self.broker.reconfigure(changes) if changes else {}
+        if flush_cap is not None:
+            self._set_flush_cap(flush_cap)
+            applied["flush_cap"] = self.flush_cap
+        return applied
+
     def _stats(self) -> Dict[str, Any]:
         links = {
             peer: _stats_payload(endpoint.stats)
@@ -407,6 +482,17 @@ class _BrokerNode:
                 op = request.get("op")
                 if op == "stats":
                     channel.send({"re": rid, "ok": True, **self._stats()})
+                elif op == "metrics":
+                    channel.send({"re": rid, "ok": True, "metrics": self.broker.metrics_snapshot()})
+                elif op == "configure":
+                    try:
+                        applied = self._configure(request.get("changes") or {})
+                    except (ValueError, RuntimeError) as exc:
+                        channel.send({"re": rid, "ok": False, "error": str(exc)})
+                    else:
+                        # the flip may have forwarded resyncs; push them out
+                        self._flush_endpoints()
+                        channel.send({"re": rid, "ok": True, "applied": applied})
                 elif op == "link_down":
                     self._sever_link(request.get("peer"))
                     channel.send({"re": rid, "ok": True})
@@ -432,15 +518,19 @@ class _BrokerNode:
 
     # -------------------------------------------------------------------- run
     async def run(self) -> int:
+        from ..obs.metrics import MetricsRegistry
         from ..pubsub.broker import Broker  # lazy: net/ stays importable alone
 
         loop = asyncio.get_running_loop()
+        self.metrics = MetricsRegistry(enabled=bool(self.config.get("metrics", True)))
         self.broker = Broker(
             _NodeClock(loop),
             self.name,
             routing=self.spec.get("routing", "simple"),
             matcher=self.spec.get("matcher", "indexed"),
             advertising=self.spec.get("advertising", "incremental"),
+            duplicates_capacity=self.config.get("duplicates_capacity"),
+            metrics=self.metrics,
         )
         self._server = await asyncio.start_server(self._serve_connection, host=self.host, port=0)
         port = self._server.sockets[0].getsockname()[1]
@@ -767,6 +857,11 @@ class ClusterTransport(Transport):
             "dial": [],
             "accept": [],
         }
+        if self._system_config is not None:
+            # ship the control-plane knobs (metrics on/off, duplicate memory,
+            # flush cap) to the child; the flat keys above stay authoritative
+            # for routing/matcher/advertising so legacy callers are unchanged
+            self._specs[name]["config"] = self._system_config.to_dict()
         proxy = RemoteBroker(self, self._clock, name, routing, matcher, advertising)
         self._brokers[name] = proxy
         return proxy
@@ -858,6 +953,7 @@ class ClusterTransport(Transport):
         await writer.drain()
         endpoint = _RemoteEndpoint(writer, broker_name, self.codec)
         endpoint.stats = link._local_out  # the link owns the outbound counters
+        endpoint.flush_cap = self._flush_cap
         client.attach_link(broker_name, endpoint)
         self._client_writers.append(writer)
         reader_task = self._loop.create_task(self._client_reader(client, reader, link))
@@ -884,6 +980,78 @@ class ClusterTransport(Transport):
         except BaseException as exc:
             if self._pending_error is None:
                 self._pending_error = exc
+
+    # ----------------------------------------------------------- control plane
+    def set_flush_cap(self, cap: int) -> None:
+        """Retune the parent-side clients' write batching (children keep theirs).
+
+        Broker children are retuned through :meth:`configure`, which ships
+        the knob to the owning process.
+        """
+        super().set_flush_cap(cap)
+        for process in self._local.values():
+            for endpoint in process.links.values():
+                if isinstance(endpoint, _RemoteEndpoint):
+                    endpoint.flush_cap = cap
+
+    def configure(self, broker, changes: Dict[str, Any]) -> Dict[str, Any]:
+        """Ship runtime knob changes to a live broker child's process.
+
+        The child applies them through the same verified
+        :meth:`~repro.pubsub.broker.Broker.reconfigure` path as the
+        in-process backends (plus its node-level ``flush_cap``) and replies
+        with the applied values; a rejected change surfaces as a
+        :class:`~repro.net.registry.RegistryError` naming the node.
+        """
+        self._require_open()
+        changes = dict(changes)
+        unknown = sorted(set(changes) - set(RUNTIME_KNOBS))
+        if unknown:
+            raise ValueError(
+                f"unknown runtime knob(s) {', '.join(map(repr, unknown))}; "
+                f"allowed: {', '.join(RUNTIME_KNOBS)}"
+            )
+        name = broker if isinstance(broker, str) else broker.name
+        if name not in self._brokers:
+            raise TransportError(f"no broker named {name!r} on this transport")
+        if not self._booted:
+            raise ClusterError(
+                f"cannot configure {name!r} before the cluster has booted; "
+                "runtime knobs reach a broker child over its control channel"
+            )
+        if name in self._down:
+            raise ClusterError(f"broker {name!r} is down; restart it before reconfiguring")
+        if not changes:
+            return {}
+
+        async def send() -> Dict[str, Any]:
+            return await self.registry.request(name, "configure", timeout=10.0, changes=changes)
+
+        reply = self._loop.run_until_complete(send())
+        applied = dict(reply.get("applied", {}))
+        proxy = self._brokers[name]
+        if "matcher" in applied:
+            proxy.matcher = applied["matcher"]
+        if "advertising" in applied:
+            proxy.advertising = applied["advertising"]
+        return applied
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Gather every live child's metrics over the registry control channel."""
+        self._require_open()
+        brokers: Dict[str, Any] = {}
+        if self._booted:
+
+            async def gather() -> None:
+                names = [name for name in self._specs if name not in self._down]
+                replies = await asyncio.gather(
+                    *[self.registry.request(name, "metrics", timeout=10.0) for name in names]
+                )
+                for name, reply in zip(names, replies):
+                    brokers[name] = reply["metrics"]
+
+            self._loop.run_until_complete(gather())
+        return {"transport": self.transport_metrics(), "brokers": brokers}
 
     # ------------------------------------------------------------- fault plane
     def inject_fault(self, action: str, process=None, link=None) -> None:
@@ -1008,7 +1176,7 @@ class ClusterTransport(Transport):
         async def sever() -> None:
             for owner, peer in ((link.a.name, link.b.name), (link.b.name, link.a.name)):
                 if owner not in self._down:
-                    await self.registry.call(owner, {"op": "link_down", "peer": peer}, timeout=10.0)
+                    await self.registry.request(owner, "link_down", peer=peer, timeout=10.0)
 
         self._loop.run_until_complete(sever())
         link.up = False
@@ -1029,13 +1197,12 @@ class ClusterTransport(Transport):
             )
 
         async def restore() -> None:
-            reply = await self.registry.call(
-                dialer, {"op": "link_up", "peer": acceptor}, timeout=self.boot_timeout
-            )
-            if not reply.get("ok"):
-                raise ClusterError(
-                    f"link restore {dialer}->{acceptor} failed: {reply.get('error')}"
+            try:
+                await self.registry.request(
+                    dialer, "link_up", peer=acceptor, timeout=self.boot_timeout
                 )
+            except RegistryError as exc:
+                raise ClusterError(f"link restore {dialer}->{acceptor} failed: {exc}") from exc
 
         self._loop.run_until_complete(restore())
         link.up = True
@@ -1174,7 +1341,7 @@ class ClusterTransport(Transport):
             for name, child in self._children.items():
                 if child.poll() is None:
                     try:
-                        await self.registry.call(name, {"op": "shutdown"}, timeout=5.0)
+                        await self.registry.request(name, "shutdown", timeout=5.0)
                     except (RegistryError, ConnectionError):
                         pass
             for writer in self._client_writers:

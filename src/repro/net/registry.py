@@ -291,6 +291,23 @@ class RegistryServer:
             self._replies.pop(rid, None)
             raise RegistryError(f"node {name!r} did not answer {payload.get('op')!r} in {timeout}s")
 
+    async def request(self, name: str, op: str, timeout: float = 10.0, **fields: Any) -> dict:
+        """One control round-trip with the ``ok`` convention enforced.
+
+        The single request-id + timeout + error-check path behind every
+        control op the parent issues (``stats``, ``metrics``, ``configure``,
+        ``link_down``/``link_up``, ``shutdown``) — each used to re-implement
+        its own slice of this dance.  Raises :class:`RegistryError` when the
+        node has no live control channel, does not answer in time, or
+        answers ``ok: false`` (the node's error message is surfaced).
+        """
+        reply = await self.call(name, {"op": op, **fields}, timeout=timeout)
+        if not reply.get("ok"):
+            raise RegistryError(
+                f"node {name!r} rejected {op!r}: {reply.get('error', 'no error given')}"
+            )
+        return reply
+
     async def close(self) -> None:
         for channel in list(self._controls.values()):
             channel.close()
@@ -308,6 +325,40 @@ class RegistryServer:
 # ------------------------------------------------------------- node-side API
 
 
+async def _connect(registry_address: Tuple[str, int], timeout: float) -> FrameChannel:
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(*registry_address), timeout
+        )
+    except asyncio.TimeoutError:
+        raise RegistryError(f"registry at {registry_address} did not accept within {timeout}s")
+    return FrameChannel(reader, writer)
+
+
+async def roundtrip(
+    channel: FrameChannel,
+    payload: dict,
+    what: str,
+    timeout: float = 10.0,
+    recv_timeout: Optional[float] = None,
+) -> dict:
+    """One node-side control exchange: send, drain, await the ``ok`` reply.
+
+    The shared send/drain/recv/error-check sequence behind
+    :func:`register_node`, :func:`report_ready` and :func:`lookup`, which
+    used to carry three private copies of it.  ``what`` names the exchange
+    in the :class:`RegistryError` raised on rejection or EOF.
+    """
+    channel.send(payload)
+    await asyncio.wait_for(channel.drain(), timeout)
+    reply = await channel.recv(timeout=recv_timeout if recv_timeout is not None else timeout)
+    if not reply or not reply.get("ok"):
+        raise RegistryError(
+            f"{what} rejected: {(reply or {}).get('error', 'connection closed')}"
+        )
+    return reply
+
+
 async def register_node(
     registry_address: Tuple[str, int],
     name: str,
@@ -320,52 +371,38 @@ async def register_node(
     Raises :class:`RegistryError` when the registry refuses the name
     (duplicate registration) or does not answer in time.
     """
+    channel = await _connect(registry_address, timeout)
+    payload = {"op": "register", "name": name, "host": advertise_host, "port": advertise_port}
     try:
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(*registry_address), timeout
-        )
-    except asyncio.TimeoutError:
-        raise RegistryError(f"registry at {registry_address} did not accept within {timeout}s")
-    channel = FrameChannel(reader, writer)
-    channel.send({"op": "register", "name": name, "host": advertise_host, "port": advertise_port})
-    await asyncio.wait_for(channel.drain(), timeout)
-    reply = await channel.recv(timeout=timeout)
-    if not reply or not reply.get("ok"):
+        await roundtrip(channel, payload, f"registration of {name!r}", timeout=timeout)
+    except RegistryError:
         channel.close()
-        raise RegistryError(
-            f"registration of {name!r} rejected: {(reply or {}).get('error', 'connection closed')}"
-        )
+        raise
     return channel
 
 
 async def report_ready(channel: FrameChannel, name: str, timeout: float = 10.0) -> None:
     """Tell the registry this node's links are all up (boot barrier)."""
-    channel.send({"op": "ready", "name": name})
-    await asyncio.wait_for(channel.drain(), timeout)
-    reply = await channel.recv(timeout=timeout)
-    if not reply or not reply.get("ok"):
-        raise RegistryError(f"ready report for {name!r} rejected: {reply!r}")
+    await roundtrip(
+        channel, {"op": "ready", "name": name}, f"ready report for {name!r}", timeout=timeout
+    )
 
 
 async def lookup(
     registry_address: Tuple[str, int], name: str, timeout: float = 10.0
 ) -> Tuple[str, int]:
     """Resolve a broker name to its address, waiting for it to register."""
+    channel = await _connect(registry_address, timeout)
     try:
-        reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(*registry_address), timeout
+        # the registry itself waits up to ``timeout`` for the name to appear,
+        # so the reply read gets a little headroom on top
+        reply = await roundtrip(
+            channel,
+            {"op": "lookup", "name": name, "timeout": timeout},
+            f"lookup of {name!r}",
+            timeout=timeout,
+            recv_timeout=timeout + 5.0,
         )
-    except asyncio.TimeoutError:
-        raise RegistryError(f"registry at {registry_address} did not accept within {timeout}s")
-    channel = FrameChannel(reader, writer)
-    try:
-        channel.send({"op": "lookup", "name": name, "timeout": timeout})
-        await asyncio.wait_for(channel.drain(), timeout)
-        reply = await channel.recv(timeout=timeout + 5.0)
     finally:
         channel.close()
-    if not reply or not reply.get("ok"):
-        raise RegistryError(
-            f"lookup of {name!r} failed: {(reply or {}).get('error', 'connection closed')}"
-        )
     return reply["host"], reply["port"]

@@ -70,6 +70,10 @@ TRANSPORT_NAMES = ("sim", "asyncio", "cluster")
 #: the fault primitives accepted by :meth:`Transport.inject_fault`
 FAULT_ACTIONS = ("crash", "restart", "link_down", "link_up")
 
+#: the knobs :meth:`Transport.configure` accepts on a *live* broker
+#: (re-exported as :data:`repro.config.RUNTIME_KNOBS`)
+RUNTIME_KNOBS = ("matcher", "advertising", "flush_cap", "duplicates_capacity")
+
 
 class TransportError(RuntimeError):
     """Raised when a transport is used incorrectly or fails to settle."""
@@ -104,6 +108,13 @@ class Transport(ABC):
     #: whether :meth:`inject_fault` works on this backend.  Backends opt in
     #: explicitly, the same way they opt into mobility.
     supports_fault_injection: bool = False
+
+    #: the :class:`~repro.config.SystemConfig` adopted via :meth:`apply_config`
+    #: (``None`` until one is applied; legacy kwarg construction never sets it)
+    _system_config = None
+
+    #: the last flush cap applied via :meth:`set_flush_cap` (``None`` = default)
+    _flush_cap: Optional[int] = None
 
     @property
     @abstractmethod
@@ -212,6 +223,90 @@ class Transport(ABC):
         """
         return {}
 
+    # ----------------------------------------------------------- control plane
+    @property
+    def brokers(self) -> Dict[str, Any]:
+        """Brokers built on this transport, by name (the control-plane roster)."""
+        roster = getattr(self, "_brokers", None)
+        if roster is None:
+            roster = self._brokers = {}
+        return roster
+
+    def apply_config(self, config) -> None:
+        """Adopt a :class:`~repro.config.SystemConfig` for this substrate.
+
+        Records the config (later :meth:`build_broker` calls read the broker
+        knobs off it) and applies the transport-level knobs immediately.
+        """
+        self._system_config = config
+        self.set_flush_cap(config.flush_cap)
+        self.set_metrics_enabled(config.metrics)
+
+    def set_flush_cap(self, cap: int) -> None:
+        """Retune the wire flush cap.
+
+        The base implementation only validates and records the value: the
+        simulator moves object references and holds no wire buffers, so the
+        knob is inert there.  Socket backends override this to retune their
+        live write batching.
+        """
+        if not isinstance(cap, int) or isinstance(cap, bool) or cap < 1:
+            raise ValueError(f"flush_cap must be a positive integer, got {cap!r}")
+        self._flush_cap = cap
+
+    def set_metrics_enabled(self, enabled: bool) -> None:
+        """Flip transport-level live instrumentation; a no-op on the simulator."""
+
+    def configure(self, broker, changes: Dict[str, Any]) -> Dict[str, Any]:
+        """Apply runtime knob changes to a *live* broker of this substrate.
+
+        ``broker`` is a broker object built by :meth:`build_broker` or its
+        name; ``changes`` maps knob names (see :data:`RUNTIME_KNOBS`) to new
+        values.  Matcher/advertising flips rebuild the broker's index state
+        from the routing table and are verified in place (identical
+        ``destinations()`` and advertised-filter multisets before and
+        after); ``flush_cap`` retunes this transport's write batching.
+        Returns the applied values.  The cluster backend overrides this to
+        ship the changes to the broker's process as a ``configure`` control
+        op.
+        """
+        changes = dict(changes)
+        unknown = sorted(set(changes) - set(RUNTIME_KNOBS))
+        if unknown:
+            raise ValueError(
+                f"unknown runtime knob(s) {', '.join(map(repr, unknown))}; "
+                f"allowed: {', '.join(RUNTIME_KNOBS)}"
+            )
+        if isinstance(broker, str):
+            try:
+                broker = self.brokers[broker]
+            except KeyError:
+                raise TransportError(f"no broker named {broker!r} on this transport") from None
+        flush_cap = changes.pop("flush_cap", None)
+        applied: Dict[str, Any] = broker.reconfigure(changes) if changes else {}
+        if flush_cap is not None:
+            self.set_flush_cap(flush_cap)
+            applied["flush_cap"] = self._flush_cap
+        return applied
+
+    def transport_metrics(self) -> Dict[str, Any]:
+        """This substrate's own live instruments plus point-in-time gauges."""
+        return {"counters": {}, "histograms": {}, "gauges": self.resource_sizes()}
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The full control-plane view: transport instruments + every broker.
+
+        A plain (JSON-safe) dict.  In-process backends read their brokers
+        directly; the cluster backend overrides this to gather the same
+        shape over the registry control channel.
+        """
+        return {
+            "transport": self.transport_metrics(),
+            "brokers": {
+                name: broker.metrics_snapshot() for name, broker in sorted(self.brokers.items())
+            },
+        }
+
     def build_broker(
         self,
         name: str,
@@ -224,11 +319,23 @@ class Transport(ABC):
         In-process backends return a real :class:`~repro.pubsub.broker.Broker`
         running on this transport's clock; the multi-process cluster backend
         overrides this to return a :class:`~repro.net.cluster.RemoteBroker`
-        proxy whose actual broker lives in a spawned child process.
+        proxy whose actual broker lives in a spawned child process.  When a
+        :class:`~repro.config.SystemConfig` was applied, its
+        ``duplicates_capacity`` and ``metrics`` knobs shape the new broker.
         """
-        from ..pubsub.broker import Broker  # lazy: net/ stays importable alone
+        from ..obs.metrics import MetricsRegistry  # lazy: net/ stays importable alone
+        from ..pubsub.broker import Broker
 
-        return Broker(self.clock, name, routing=routing, matcher=matcher, advertising=advertising)
+        config = self._system_config
+        extra: Dict[str, Any] = {}
+        if config is not None:
+            extra["duplicates_capacity"] = config.duplicates_capacity
+            extra["metrics"] = MetricsRegistry(enabled=config.metrics)
+        broker = Broker(
+            self.clock, name, routing=routing, matcher=matcher, advertising=advertising, **extra
+        )
+        self.brokers[name] = broker
+        return broker
 
     def close(self) -> None:
         """Release substrate resources (sockets, event loops).  Idempotent."""
@@ -582,6 +689,37 @@ class AsyncioTransport(Transport):
         #: endpoints holding buffered frames, flushed in one scheduled pass
         self._dirty: "set[_AsyncioDirectedEndpoint]" = set()
         self._flush_scheduled = False
+        from ..obs.metrics import MetricsRegistry
+
+        self.metrics = MetricsRegistry()
+        self._bind_instruments()
+
+    def _bind_instruments(self) -> None:
+        """Cache instrument references so the send path pays no dict probes."""
+        self._frames_sent = self.metrics.counter("transport.frames_sent")
+        self._bytes_sent = self.metrics.counter("transport.bytes_sent")
+        self._write_bytes = self.metrics.histogram("transport.socket_write_bytes")
+
+    def set_metrics_enabled(self, enabled: bool) -> None:
+        """Swap in a fresh registry; call before traffic, not mid-run."""
+        from ..obs.metrics import MetricsRegistry
+
+        if enabled != self.metrics.enabled:
+            self.metrics = MetricsRegistry(enabled=enabled)
+            self._bind_instruments()
+
+    def set_flush_cap(self, cap: int) -> None:
+        """Retune the live write-batching threshold (instance-level override)."""
+        super().set_flush_cap(cap)
+        self.FLUSH_CAP = cap
+
+    def transport_metrics(self) -> Dict[str, Any]:
+        snapshot = self.metrics.snapshot()
+        return {
+            "counters": snapshot["counters"],
+            "histograms": snapshot["histograms"],
+            "gauges": self.resource_sizes(),
+        }
 
     @property
     def clock(self) -> AsyncioClock:
@@ -796,8 +934,11 @@ class AsyncioTransport(Transport):
             raise TransportError("link endpoint is not connected")
         self._inflight += count
         endpoint.undelivered += count
+        self._frames_sent.inc(count)
+        self._bytes_sent.inc(len(data))
         if not self.codec.batched:
             endpoint._writer.write(data)
+            self._write_bytes.observe(len(data))
             return
         # hop-level batching: coalesce the dispatch burst into one socket
         # write.  In-flight accounting happens at buffer time (above), so
@@ -820,6 +961,7 @@ class AsyncioTransport(Transport):
                 # a dead connection already reconciled the in-flight counter
                 # (see _serve_connection's finally); its buffer just drops
                 endpoint._writer.write(bytes(buffer))
+                self._write_bytes.observe(len(buffer))
             buffer.clear()
         self._dirty.discard(endpoint)
 

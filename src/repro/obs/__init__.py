@@ -1,0 +1,19 @@
+"""Live observability layer: counters, histograms, per-broker registries."""
+
+from repro.obs.metrics import (
+    DEFAULT_SIZE_BOUNDS,
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_HISTOGRAM",
+    "DEFAULT_SIZE_BOUNDS",
+]

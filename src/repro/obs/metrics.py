@@ -1,0 +1,166 @@
+"""Live metrics primitives for the broker control plane.
+
+This module is deliberately tiny and allocation-light: the instruments are
+incremented on pub/sub hot paths (every routed notification, every wire
+frame), so an observation must stay within a few attribute touches.  The
+design mirrors the usual counter/histogram split:
+
+* :class:`Counter` — a monotonically increasing integer;
+* :class:`Histogram` — fixed, pre-sorted bucket bounds with cumulative-free
+  per-bucket counts (bucket *i* holds observations ``<= bounds[i]``, the
+  final overflow bucket holds the rest);
+* :class:`MetricsRegistry` — the per-broker/per-transport owner that
+  memoizes instruments by name and renders everything into a plain dict via
+  :meth:`MetricsRegistry.snapshot` so snapshots can cross process
+  boundaries as JSON (the cluster control channel carries them next to the
+  ``stats`` op).
+
+A registry constructed with ``enabled=False`` hands out shared no-op
+instruments instead, which is the A/B used by ``bench_controlplane.py`` to
+prove the instrumentation overhead stays within budget.  Unlike the
+post-hoc QoS aggregation in :mod:`repro.core.metrics`, everything here is
+updated live while traffic flows.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_HISTOGRAM",
+    "DEFAULT_SIZE_BOUNDS",
+]
+
+# Byte-size oriented bounds (frame sizes, flush sizes): powers of four from
+# 64 B to 1 MiB, which brackets everything from one tiny control frame to a
+# full flush-cap burst.
+DEFAULT_SIZE_BOUNDS: Tuple[int, ...] = tuple(64 * 4**i for i in range(8))
+
+
+class Counter:
+    """A monotonically increasing integer instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A histogram with fixed bucket bounds.
+
+    ``bounds`` must be sorted ascending; observation ``v`` lands in the
+    first bucket with ``v <= bound``, or in the trailing overflow bucket.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = list(bounds)
+        if ordered != sorted(ordered):
+            raise ValueError(f"histogram bounds must be sorted ascending, got {bounds!r}")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(ordered)
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.sum = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count}, sum={self.sum})"
+
+
+class _NullCounter:
+    """Shared no-op counter handed out by disabled registries."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    """Shared no-op histogram handed out by disabled registries."""
+
+    __slots__ = ()
+    name = "null"
+    bounds: Tuple[float, ...] = ()
+    counts: List[int] = []
+    count = 0
+    sum = 0
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Owner of a named instrument set, snapshottable as a plain dict.
+
+    Instruments are memoized by name, so every caller asking for
+    ``counter("transport.frames_sent")`` shares the same object — endpoints
+    created at different times all feed one instrument.  A disabled
+    registry returns shared no-op instruments and snapshots empty, making
+    "metrics off" a true zero-bookkeeping mode.
+    """
+
+    __slots__ = ("enabled", "_counters", "_histograms")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def histogram(self, name: str, bounds: Iterable[float] = DEFAULT_SIZE_BOUNDS) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, tuple(bounds))
+        return instrument
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Render every instrument into a JSON-safe plain dict."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }

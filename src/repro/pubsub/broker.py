@@ -23,10 +23,11 @@ from typing import Dict, List, Mapping, Optional, Set
 
 from ..net.process import Message, Process
 from ..net.simulator import Simulator
+from ..obs.metrics import MetricsRegistry
 from .filters import Filter
 from .notification import Notification
 from .routing import RoutingStrategy, make_strategy
-from .routing_table import RoutingTable
+from .routing_table import RoutingTable, probe_notifications
 from .subscription import Subscription
 
 
@@ -61,10 +62,18 @@ class Broker(Process):
         Maximum number of notification ids remembered for duplicate
         suppression when :attr:`deduplicate` is on; oldest ids are evicted
         first, which bounds broker memory on long-running deployments.
+    metrics:
+        The live :class:`~repro.obs.metrics.MetricsRegistry` this broker
+        reports into (one is created when omitted).  Pass a registry
+        constructed with ``enabled=False`` to run without any live
+        instrumentation.
     """
 
     #: default bound on the duplicate-suppression memory
     DEFAULT_DUPLICATES_CAPACITY = 65536
+
+    #: the knobs a *live* broker accepts through :meth:`reconfigure`
+    RECONFIGURABLE = ("matcher", "advertising", "duplicates_capacity")
 
     def __init__(
         self,
@@ -74,14 +83,19 @@ class Broker(Process):
         matcher: str = "indexed",
         advertising: str = "incremental",
         duplicates_capacity: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         super().__init__(sim, name)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.routing_table = RoutingTable(matcher=matcher)
         self.routing_strategy_name = routing
-        self.strategy: RoutingStrategy = make_strategy(routing, self, advertising=advertising)
+        self.strategy: RoutingStrategy = make_strategy(
+            routing, self, advertising=advertising, metrics=self.metrics
+        )
         self._broker_peers: Set[str] = set()
         # metrics
         self.notifications_routed = 0
+        self.notifications_forwarded = 0
         self.notifications_delivered_locally = 0
         self.subscriptions_handled = 0
         self.unsubscriptions_handled = 0
@@ -115,6 +129,61 @@ class Broker(Process):
     def set_advertising(self, advertising: str) -> None:
         """Switch the subscription-control implementation (rebuilds the index)."""
         self.strategy.set_advertising(advertising)
+
+    def set_duplicates_capacity(self, capacity: int) -> None:
+        """Retune the duplicate-suppression memory bound on a live broker."""
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise ValueError(f"duplicates_capacity must be a positive integer, got {capacity!r}")
+        self.duplicates_capacity = capacity
+        seen = self._seen_notification_ids
+        while len(seen) > capacity:
+            del seen[next(iter(seen))]
+
+    # ------------------------------------------------------------- control plane
+    def reconfigure(self, changes: Mapping[str, object]) -> Dict[str, object]:
+        """Apply runtime knob changes to this *live* broker, verified.
+
+        Accepts a subset of :attr:`RECONFIGURABLE`.  A ``matcher`` or
+        ``advertising`` flip rebuilds the respective index from the routing
+        table and is verified in place: a probe notification set synthesized
+        from the table's own filters must produce identical
+        ``destinations()`` before and after, and the advertised filter
+        multiset per link must be unchanged.  Returns the applied values.
+        """
+        unknown = sorted(set(changes) - set(self.RECONFIGURABLE))
+        if unknown:
+            raise ValueError(
+                f"cannot reconfigure {', '.join(map(repr, unknown))} on a live broker; "
+                f"allowed: {', '.join(self.RECONFIGURABLE)}"
+            )
+        applied: Dict[str, object] = {}
+        if "matcher" in changes:
+            self._verified_flip(lambda: self.set_matcher(changes["matcher"]))
+            applied["matcher"] = self.matcher
+        if "advertising" in changes:
+            before = self.strategy.advertised_multisets()
+            self._verified_flip(lambda: self.set_advertising(changes["advertising"]))
+            if self.strategy.advertised_multisets() != before:
+                raise RuntimeError(
+                    f"{self.name}: advertised filter multisets changed across a live "
+                    "advertising flip"
+                )
+            applied["advertising"] = self.advertising
+        if "duplicates_capacity" in changes:
+            self.set_duplicates_capacity(changes["duplicates_capacity"])
+            applied["duplicates_capacity"] = self.duplicates_capacity
+        return applied
+
+    def _verified_flip(self, mutate) -> None:
+        """Run ``mutate`` and assert routing decisions are unchanged."""
+        probes = probe_notifications(self.routing_table)
+        before = [self.routing_table.destinations(probe) for probe in probes]
+        mutate()
+        after = [self.routing_table.destinations(probe) for probe in probes]
+        if before != after:
+            raise RuntimeError(
+                f"{self.name}: destinations() changed across a live reconfiguration"
+            )
 
     # ------------------------------------------------------------------ wiring
     def register_broker_peer(self, peer_name: str) -> None:
@@ -245,6 +314,7 @@ class Broker(Process):
             if not self.has_link(destination):
                 continue
             if destination in broker_peers:
+                self.notifications_forwarded += 1
                 self.send(destination, Message(kind="publish", payload=notification))
             else:
                 self.notifications_delivered_locally += 1
@@ -282,6 +352,39 @@ class Broker(Process):
             "table_size": self.routing_table_size(),
             "messages_sent": self.messages_sent,
             "messages_received": self.messages_received,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The live control-plane view of this broker, as a plain dict.
+
+        Merges the registry-owned instruments (covering-index hits, any
+        transport-side counters sharing the registry) with the hot-path
+        integer counters and a few point-in-time gauges.  Counter values for
+        a deterministic workload are identical across transport backends —
+        they count routing decisions, not wire activity.
+        """
+        snapshot = self.metrics.snapshot()
+        counters = dict(snapshot["counters"])
+        counters.update(
+            {
+                "broker.matches": self.notifications_routed,
+                "broker.forwards": self.notifications_forwarded,
+                "broker.delivered_locally": self.notifications_delivered_locally,
+                "broker.duplicates_dropped": self.duplicate_publishes_dropped,
+                "broker.subscriptions": self.subscriptions_handled,
+                "broker.unsubscriptions": self.unsubscriptions_handled,
+                "broker.resyncs_received": self.resyncs_received,
+                "broker.resync_forwards_sent": self.resync_forwards_sent,
+            }
+        )
+        return {
+            "counters": counters,
+            "histograms": snapshot["histograms"],
+            "gauges": {
+                "broker.routing_table_size": self.routing_table_size(),
+                "broker.duplicates_remembered": len(self._seen_notification_ids),
+                "broker.forwarded_subscriptions": self.strategy.forwarded_count(),
+            },
         }
 
 

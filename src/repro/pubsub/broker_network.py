@@ -28,16 +28,26 @@ class TopologyError(ValueError):
 class BrokerNetwork:
     """A set of brokers connected in an acyclic graph, plus attached clients.
 
-    The ``transport`` knob selects the substrate the brokers run on:
-    ``"sim"`` / ``None`` (default) is the deterministic discrete-event
-    simulator (pass ``sim`` as before, or let one be created); ``"asyncio"``
-    (or a :class:`~repro.net.transport.Transport` instance) runs every
-    broker and client on real localhost TCP sockets with wire-serialized
-    messages; ``"cluster"`` shards the broker graph across spawned OS
-    processes coordinated by a TCP registry (:mod:`repro.net.cluster`) —
-    the cluster boots lazily when the first client attaches, freezing the
-    broker topology.  The pub/sub behaviour is identical on all backends;
-    see :mod:`repro.net.transport` for the guarantees each one makes.
+    The preferred way to pick the substrate and knobs is one
+    :class:`~repro.config.SystemConfig` passed as ``config=`` — it selects
+    the transport backend, wire codec, matcher, advertising mode, flush cap
+    and metrics switch in a single validated object.  The legacy kwargs
+    (``matcher=``/``advertising=``/``transport=``/``codec=``) keep working:
+    they are folded into a synthesized ``SystemConfig``, which also means a
+    typo like ``matcher="indxed"`` now fails *here*, at construction, with
+    the allowed names in the message.  Passing ``config=`` *and* a legacy
+    knob is an error — one source of truth.
+
+    The transport backends: ``"sim"`` / ``None`` (default) is the
+    deterministic discrete-event simulator (pass ``sim`` as before, or let
+    one be created); ``"asyncio"`` (or a
+    :class:`~repro.net.transport.Transport` instance) runs every broker and
+    client on real localhost TCP sockets with wire-serialized messages;
+    ``"cluster"`` shards the broker graph across spawned OS processes
+    coordinated by a TCP registry (:mod:`repro.net.cluster`) — the cluster
+    boots lazily when the first client attaches, freezing the broker
+    topology.  The pub/sub behaviour is identical on all backends; see
+    :mod:`repro.net.transport` for the guarantees each one makes.
     """
 
     def __init__(
@@ -45,17 +55,49 @@ class BrokerNetwork:
         sim: Optional[Simulator] = None,
         routing: str = "simple",
         link_latency: float = 0.001,
-        matcher: str = "indexed",
-        advertising: str = "incremental",
+        matcher: Optional[str] = None,
+        advertising: Optional[str] = None,
         transport=None,
         codec=None,
+        config=None,
     ):
+        from ..config import SystemConfig  # lazy: config imports this package
+
+        if config is not None:
+            clashing = [
+                knob
+                for knob, value in (("matcher", matcher), ("advertising", advertising), ("codec", codec))
+                if value is not None
+            ]
+            if clashing:
+                raise ValueError(
+                    f"got config= and legacy knob(s) {', '.join(clashing)}; "
+                    "fold them into the SystemConfig (config.replace(...)) instead"
+                )
+            if not isinstance(config, SystemConfig):
+                raise TypeError(f"config must be a SystemConfig, got {type(config).__name__}")
+            if transport is None:
+                transport = config.transport
+            self.network = Network(sim=sim, transport=transport, codec=config.codec)
+        else:
+            # legacy kwargs: synthesize the equivalent SystemConfig so the
+            # knobs are validated up front and the control plane (metrics,
+            # runtime reconfiguration) is uniformly available
+            self.network = Network(sim=sim, transport=transport, codec=codec)
+            resolved_codec = getattr(self.network.transport, "codec", None)
+            config = SystemConfig(
+                matcher=matcher if matcher is not None else "indexed",
+                advertising=advertising if advertising is not None else "incremental",
+                transport=self.network.transport.name,
+                codec=resolved_codec.name if resolved_codec is not None else "json",
+            )
+        self.config = config
         self.routing = routing
         self.link_latency = link_latency
-        self.matcher = matcher
-        self.advertising = advertising
-        self.network = Network(sim=sim, transport=transport, codec=codec)
+        self.matcher = config.matcher
+        self.advertising = config.advertising
         self.transport = self.network.transport
+        self.transport.apply_config(config)
         self.sim = self.network.sim
         self.brokers: Dict[str, Broker] = {}
         self.clients: Dict[str, Client] = {}
@@ -221,10 +263,11 @@ def line_topology(
     routing: str = "simple",
     link_latency: float = 0.001,
     prefix: str = "B",
-    matcher: str = "indexed",
-    advertising: str = "incremental",
+    matcher: Optional[str] = None,
+    advertising: Optional[str] = None,
     transport=None,
     codec=None,
+    config=None,
 ) -> BrokerNetwork:
     """Brokers connected in a chain: B1 - B2 - ... - Bn."""
     net = BrokerNetwork(
@@ -235,6 +278,7 @@ def line_topology(
         advertising=advertising,
         transport=transport,
         codec=codec,
+        config=config,
     )
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
@@ -251,10 +295,11 @@ def star_topology(
     routing: str = "simple",
     link_latency: float = 0.001,
     prefix: str = "B",
-    matcher: str = "indexed",
-    advertising: str = "incremental",
+    matcher: Optional[str] = None,
+    advertising: Optional[str] = None,
     transport=None,
     codec=None,
+    config=None,
 ) -> BrokerNetwork:
     """One hub broker connected to ``n_leaves`` border brokers."""
     net = BrokerNetwork(
@@ -265,6 +310,7 @@ def star_topology(
         advertising=advertising,
         transport=transport,
         codec=codec,
+        config=config,
     )
     hub = net.add_broker(f"{prefix}0")
     for i in range(n_leaves):
@@ -281,10 +327,11 @@ def balanced_tree_topology(
     routing: str = "simple",
     link_latency: float = 0.001,
     prefix: str = "B",
-    matcher: str = "indexed",
-    advertising: str = "incremental",
+    matcher: Optional[str] = None,
+    advertising: Optional[str] = None,
     transport=None,
     codec=None,
+    config=None,
 ) -> BrokerNetwork:
     """A balanced tree of brokers with the given branching factor and depth."""
     if branching < 1 or depth < 0:
@@ -297,6 +344,7 @@ def balanced_tree_topology(
         advertising=advertising,
         transport=transport,
         codec=codec,
+        config=config,
     )
     counter = 0
 
@@ -323,10 +371,11 @@ def random_tree_topology(
     link_latency: float = 0.001,
     seed: int = 0,
     prefix: str = "B",
-    matcher: str = "indexed",
-    advertising: str = "incremental",
+    matcher: Optional[str] = None,
+    advertising: Optional[str] = None,
     transport=None,
     codec=None,
+    config=None,
 ) -> BrokerNetwork:
     """A uniformly random tree over ``n_brokers`` brokers (random attachment)."""
     rng = random.Random(seed)
@@ -338,6 +387,7 @@ def random_tree_topology(
         advertising=advertising,
         transport=transport,
         codec=codec,
+        config=config,
     )
     names = [f"{prefix}{i + 1}" for i in range(n_brokers)]
     for name in names:
@@ -356,10 +406,11 @@ def grid_border_topology(
     routing: str = "simple",
     link_latency: float = 0.001,
     prefix: str = "B",
-    matcher: str = "indexed",
-    advertising: str = "incremental",
+    matcher: Optional[str] = None,
+    advertising: Optional[str] = None,
     transport=None,
     codec=None,
+    config=None,
 ) -> Tuple[BrokerNetwork, Dict[Tuple[int, int], str]]:
     """A broker per grid cell as a spanning tree (row backbones joined by the first column).
 
@@ -376,6 +427,7 @@ def grid_border_topology(
         advertising=advertising,
         transport=transport,
         codec=codec,
+        config=config,
     )
     cells: Dict[Tuple[int, int], str] = {}
     for r in range(rows):

@@ -44,6 +44,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Set, Tuple
 
+from ..obs.metrics import NULL_COUNTER
 from .filters import Constraint, Filter
 from .notification import Notification
 from .subscription import Subscription, next_subscription_id
@@ -205,9 +206,12 @@ class _ForwardedFilterIndex:
 
     COVERS_CACHE_LIMIT = 1 << 20
 
-    def __init__(self) -> None:
+    def __init__(self, hits=NULL_COUNTER) -> None:
         self._links: Dict[str, _LinkAdverts] = {}
         self._covers_cache: Dict[Tuple[Tuple, Tuple], bool] = {}
+        # live-metrics counter bumped whenever the index answers "covered"
+        # (the forwarding suppressions the incremental structure exists for)
+        self._hits = hits
 
     # ---------------------------------------------------------- maintenance
     def set_contribution(self, sub_id: str, link: str, filters: List[Filter]) -> None:
@@ -252,6 +256,7 @@ class _ForwardedFilterIndex:
             # NaN-valued equality is not equal to itself, so evaluate the
             # (memoised) relation instead of assuming — scan mode would
             if self.covers_cached(state.rep[key], filter):
+                self._hits.inc()
                 return True
         attrs = filter.attribute_set
         for bucket_attrs in state.by_attrs:
@@ -261,6 +266,7 @@ class _ForwardedFilterIndex:
             # to test and more likely to cover, so they go first
             for rep in state.ordered_bucket(bucket_attrs):
                 if self.covers_cached(rep, filter):
+                    self._hits.inc()
                     return True
         return False
 
@@ -291,17 +297,22 @@ class RoutingStrategy:
     #: merging; flooding and simple routing never do, so they skip the index.
     uses_advert_index = False
 
-    def __init__(self, broker: RoutingBroker, advertising: str = "incremental"):
+    def __init__(self, broker: RoutingBroker, advertising: str = "incremental", metrics=None):
         if advertising not in ADVERTISING_NAMES:
             raise ValueError(
                 f"unknown advertising mode {advertising!r}; available: {ADVERTISING_NAMES}"
             )
         self.broker = broker
         self.advertising = advertising
+        # the live covering-index-hits counter (a no-op when the owning
+        # broker runs without a metrics registry or with metrics disabled)
+        self._covering_hits = (
+            metrics.counter("routing.covering_index_hits") if metrics is not None else NULL_COUNTER
+        )
         # sub_id -> links this broker has forwarded the subscription to
         self._forwarded: Dict[str, Set[str]] = defaultdict(set)
         self._index: Optional[_ForwardedFilterIndex] = (
-            _ForwardedFilterIndex()
+            _ForwardedFilterIndex(hits=self._covering_hits)
             if advertising == "incremental" and self.uses_advert_index
             else None
         )
@@ -370,7 +381,7 @@ class RoutingStrategy:
         if advertising == "scan" or not self.uses_advert_index:
             self._index = None
         else:
-            self._index = _ForwardedFilterIndex()
+            self._index = _ForwardedFilterIndex(hits=self._covering_hits)
             for sub_id, links in self._forwarded.items():
                 filters = [
                     entry.filter
@@ -497,6 +508,26 @@ class RoutingStrategy:
     def forwarded_count(self) -> int:
         return sum(len(links) for links in self._forwarded.values())
 
+    def advertised_multisets(self) -> Dict[str, List[Tuple]]:
+        """The advertised filter multiset per forwarded link, as sorted keys.
+
+        In incremental mode this reads the maintained
+        :class:`_ForwardedFilterIndex`; in scan mode it rebuilds the view
+        from the routing table the way every ``needs_forwarding`` query
+        does.  Both modes describe the same state, so the live
+        reconfiguration path asserts this view is invariant across an
+        advertising-mode flip.
+        """
+        links = sorted({link for links in self._forwarded.values() for link in links})
+        result: Dict[str, List[Tuple]] = {}
+        for link in links:
+            if self._index is not None:
+                filters = self._index.filters_on(link)
+            else:
+                filters = self._forwarded_filters(link)
+            result[link] = sorted((filter.key() for filter in filters), key=repr)
+        return result
+
 
 class FloodingRouting(RoutingStrategy):
     """Flood notifications everywhere; never forward subscriptions."""
@@ -574,8 +605,8 @@ class MergingRouting(CoveringRouting):
     name = "merging"
     merge_threshold = 4
 
-    def __init__(self, broker: RoutingBroker, advertising: str = "incremental"):
-        super().__init__(broker, advertising=advertising)
+    def __init__(self, broker: RoutingBroker, advertising: str = "incremental", metrics=None):
+        super().__init__(broker, advertising=advertising, metrics=metrics)
         # link -> merged subscription currently advertised (if any)
         self._merged_subs: Dict[str, Subscription] = {}
 
@@ -658,7 +689,7 @@ STRATEGIES = {
 
 
 def make_strategy(
-    name: str, broker: RoutingBroker, advertising: str = "incremental"
+    name: str, broker: RoutingBroker, advertising: str = "incremental", metrics=None
 ) -> RoutingStrategy:
     """Instantiate the routing strategy called ``name`` for ``broker``."""
     try:
@@ -667,4 +698,4 @@ def make_strategy(
         raise ValueError(
             f"unknown routing strategy {name!r}; available: {sorted(STRATEGIES)}"
         ) from None
-    return cls(broker, advertising=advertising)
+    return cls(broker, advertising=advertising, metrics=metrics)
