@@ -28,8 +28,11 @@ without writing code:
   metrics snapshot (per-broker counters, histograms and gauges plus the
   transport's own instruments), human-readable or ``--json``;
 * ``repro top`` — drive a live broker fabric and render a refreshing
-  per-broker rates table (matches/s, forwards/s, deliveries/s, routing
-  table and duplicate-buffer gauges) for a bounded number of frames;
+  per-broker rates table (matches/s, forwards/s, deliveries/s, mean
+  delivery age, routing table and duplicate-buffer gauges) for a bounded
+  number of frames;
+* ``repro profile`` — cProfile the seeded handover workload with the
+  subscription-churn knob forced up and print the hottest functions;
 * ``repro info`` — show the system inventory: packages, experiments,
   scenarios, and the paper-to-module map.
 
@@ -71,9 +74,10 @@ def _add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--matcher",
-        choices=("brute", "indexed"),
+        choices=("brute", "indexed", "interval"),
         default=None,
-        help="routing-table matching strategy (default: indexed)",
+        help="routing-table matching strategy: brute scan, segment-indexed, or the "
+        "churn-oriented incremental interval index (default: indexed)",
     )
     parser.add_argument(
         "--advertising",
@@ -88,7 +92,7 @@ def _add_fabric_arguments(parser: argparse.ArgumentParser) -> None:
         default=[],
         help="override any SystemConfig field (repeatable), e.g. "
         "--set flush_cap=4096 --set metrics=off; the chaos family consumes "
-        "only the codec field for now",
+        "only the codec and matcher fields for now",
     )
 
 
@@ -303,6 +307,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="notifications published per frame (default: 50)",
     )
     _add_fabric_arguments(top)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="profile the replicator handover workload under churn with cProfile",
+    )
+    profile.add_argument(
+        "--backend",
+        choices=("sim", "asyncio", "cluster"),
+        default="sim",
+        help="transport backend to profile (default: sim — pure routing/matching cost, "
+        "no socket noise in the profile)",
+    )
+    profile.add_argument(
+        "--brokers", type=int, default=4, help="brokers in the handover line (default: 4)"
+    )
+    profile.add_argument(
+        "--publishes", type=int, default=6, help="publishes per mobility phase (default: 6)"
+    )
+    profile.add_argument(
+        "--churn",
+        type=float,
+        default=0.5,
+        help="per-phase probability each walker toggles its covering 'alerts' "
+        "subscription (default: 0.5 — the churn-heavy regime)",
+    )
+    profile.add_argument(
+        "--seed", type=int, default=0, help="workload-family seed to replay (default: 0)"
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, help="profile rows to print (default: 15)"
+    )
+    profile.add_argument(
+        "--sort",
+        choices=("cumulative", "tottime", "ncalls"),
+        default="cumulative",
+        help="pstats sort order (default: cumulative)",
+    )
+    _add_fabric_arguments(profile)
 
     subparsers.add_parser("info", help="show the system inventory")
     return parser
@@ -630,7 +672,11 @@ def _command_chaos_fuzz(args: argparse.Namespace) -> int:
     failures = 0
     for seed in range(args.seed, args.seed + args.seeds):
         report = run_chaos_fuzz(
-            seed, backend=args.backend, shrink=not args.no_shrink, codec=config.codec
+            seed,
+            backend=args.backend,
+            shrink=not args.no_shrink,
+            codec=config.codec,
+            matcher=config.matcher,
         )
         print("  " + report.summary())
         if not report.ok:
@@ -743,7 +789,7 @@ def _command_metrics(args: argparse.Namespace) -> int:
         for key, stats in sorted(broker["histograms"].items()):
             if stats.get("count"):
                 mean = stats["sum"] / stats["count"]
-                print(f"    {key:<36} count={stats['count']} mean={mean:.0f} sum={stats['sum']}")
+                print(f"    {key:<36} count={stats['count']} mean={mean:.6g} sum={round(stats['sum'], 6)}")
         for key, value in sorted(broker["gauges"].items()):
             print(f"    {key:<36} {value}  (gauge)")
     if result.mismatches:
@@ -796,6 +842,7 @@ def _command_top(args: argparse.Namespace) -> int:
         publisher = net.add_client("publisher", net.broker_names()[0])
 
         previous: dict = {}
+        previous_ages: dict = {}
         published = 0
         for frame in range(args.frames):
             start = time.perf_counter()
@@ -811,7 +858,7 @@ def _command_top(args: argparse.Namespace) -> int:
             )
             print(
                 f"   {'broker':<8} {'match/s':>9} {'fwd/s':>9} {'deliver/s':>9} "
-                f"{'routes':>7} {'dups':>6} {'fwd-subs':>8}"
+                f"{'age-ms':>8} {'routes':>7} {'dups':>6} {'fwd-subs':>8}"
             )
             for name, broker in sorted(snapshot["brokers"].items()):
                 counters, gauges = broker["counters"], broker["gauges"]
@@ -820,19 +867,80 @@ def _command_top(args: argparse.Namespace) -> int:
                 def rate(key, _c=counters, _p=prev):
                     return (_c.get(key, 0) - _p.get(key, 0)) / elapsed
 
+                # mean publish-to-deliver age over this frame's deliveries,
+                # from the delivery_age histogram's sum/count deltas
+                age_stats = broker["histograms"].get("broker.delivery_age", {})
+                prev_age = previous_ages.get(name, {})
+                age_count = age_stats.get("count", 0) - prev_age.get("count", 0)
+                age_sum = age_stats.get("sum", 0.0) - prev_age.get("sum", 0.0)
+                age_ms = f"{age_sum / age_count * 1000:.2f}" if age_count > 0 else "-"
+
                 print(
                     f"   {name:<8} {rate('broker.matches'):>9.0f} "
                     f"{rate('broker.forwards'):>9.0f} "
                     f"{rate('broker.delivered_locally'):>9.0f} "
+                    f"{age_ms:>8} "
                     f"{gauges.get('broker.routing_table_size', 0):>7} "
                     f"{gauges.get('broker.duplicates_remembered', 0):>6} "
                     f"{gauges.get('broker.forwarded_subscriptions', 0):>8}"
                 )
                 previous[name] = dict(counters)
+                previous_ages[name] = dict(age_stats)
         print(f"top: published {published} notifications over {args.frames} frame(s)")
         return 0
     finally:
         net.close()
+
+
+def _command_profile(args: argparse.Namespace) -> int:
+    """cProfile the handover workload under churn and print the hotspots.
+
+    The workload is the seeded handover-scenario family with the churn knob
+    forced up, which is exactly the interleaved subscribe/unsubscribe +
+    publish regime the matching engine is tuned for.  Only the workload run
+    itself is inside the profiler — topology setup and teardown stay out.
+    """
+    import cProfile
+    import dataclasses
+    import io
+    import pstats
+
+    from .mobility.handover_workload import WorkloadSpec, run_handover_workload
+
+    if args.brokers < 3:
+        print("profile needs at least 3 brokers (handover line)", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.churn <= 1.0:
+        print("profile needs --churn in [0, 1]", file=sys.stderr)
+        return 2
+    config = _fabric_config(args, "profile", transport=args.backend)
+    if config is None:
+        return 2
+    spec = dataclasses.replace(
+        WorkloadSpec.draw(args.seed),
+        brokers=args.brokers,
+        publishes_per_phase=args.publishes,
+        churn_rate=args.churn,
+    )
+    print(
+        f"profile: handover workload on {args.backend!r} — seed={args.seed} "
+        f"brokers={spec.brokers} publishes/phase={spec.publishes_per_phase} "
+        f"churn={spec.churn_rate:g} walkers={spec.walkers} commuters={spec.commuters}"
+    )
+    print(f"  fabric: {config.describe()}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_handover_workload(args.backend, spec=spec, config=config)
+    profiler.disable()
+    print(
+        f"  done: published={result.published} delivered={result.delivered_total()} "
+        f"handovers={result.handovers} wall={result.wall_sec:.3f}s"
+    )
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(stream.getvalue().rstrip())
+    return 0
 
 
 def _command_info() -> int:
@@ -876,6 +984,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_metrics(args)
     if args.command == "top":
         return _command_top(args)
+    if args.command == "profile":
+        return _command_profile(args)
     if args.command == "info":
         return _command_info()
     parser.print_help()

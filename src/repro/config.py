@@ -61,7 +61,7 @@ class SystemConfig:
     >>> SystemConfig(matcher="indxed")
     Traceback (most recent call last):
         ...
-    ValueError: unknown matcher 'indxed'; allowed: brute, indexed
+    ValueError: unknown matcher 'indxed'; allowed: brute, indexed, interval
     """
 
     matcher: str = "indexed"

@@ -103,6 +103,8 @@ class _RemoteEndpoint(LinkEndpoint):
     backend.
     """
 
+    shares_fanout = True
+
     __slots__ = (
         "writer",
         "peer",

@@ -45,6 +45,12 @@ class Message:
     msg_id: int = field(default_factory=lambda: next(_message_ids))
     meta: Dict[str, Any] = field(default_factory=dict)
     _size: Optional[int] = field(default=None, init=False, repr=False, compare=False)
+    # per-codec encoded-frame caches, populated by the wire layer so one
+    # message fanned out to many socket links is framed exactly once; they
+    # are keyed on the sender baked into the frame, so ``send`` drops them
+    # whenever the sender changes (e.g. a broker forwarding a peer's frame)
+    _frame_json: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
+    _frame_bin: Optional[bytes] = field(default=None, init=False, repr=False, compare=False)
 
     def size(self) -> int:
         """A crude size estimate in abstract bytes, used for bandwidth metrics.
@@ -147,7 +153,10 @@ class Process:
         :meth:`has_link` first.
         """
         endpoint = self.links[peer_name]
-        message.sender = self.name
+        if message.sender != self.name:
+            message.sender = self.name
+            message._frame_json = None
+            message._frame_bin = None
         self.messages_sent += 1
         self.bytes_sent += message.size()
         endpoint.transmit(message)
@@ -165,7 +174,10 @@ class Process:
             return
         endpoint = self.links[peer_name]
         for message in messages:
-            message.sender = self.name
+            if message.sender != self.name:
+                message.sender = self.name
+                message._frame_json = None
+                message._frame_bin = None
             self.messages_sent += 1
             self.bytes_sent += message.size()
         endpoint.transmit_many(messages)
@@ -196,6 +208,13 @@ class LinkEndpoint:
     Concrete behaviour (latency, FIFO queueing, connectivity) lives in
     :mod:`repro.net.link`.
     """
+
+    #: True when this endpoint serialises messages to the wire, so a broker
+    #: fanning one notification out to many such endpoints may hand them the
+    #: *same* Message object and amortise encoding via its frame caches.
+    #: In-memory endpoints keep this False: their Message objects are the
+    #: delivered artifacts and must stay distinct per destination.
+    shares_fanout = False
 
     def transmit(self, message: Message) -> None:  # pragma: no cover - interface
         raise NotImplementedError

@@ -496,7 +496,11 @@ class _AsyncioDirectedEndpoint(LinkEndpoint):
     ``transmit`` serializes the message to a length-prefixed wire frame and
     writes it to this direction's TCP connection; the receiving side's
     server decodes and dispatches it.  Per-direction FIFO is TCP's.
+    Serialising endpoints share fan-out messages, so a broker hop reuses
+    one pre-encoded frame across every destination link.
     """
+
+    shares_fanout = True
 
     def __init__(self, link: "AsyncioLink", source: Process, target: Process):
         self.link = link

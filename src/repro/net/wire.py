@@ -1215,6 +1215,8 @@ def decode_message_binary(data: bytes) -> Message:
                 "msg_id": msg_id,
                 "meta": meta,
                 "_size": None,
+                "_frame_json": None,
+                "_frame_bin": None,
             }
         else:
             obj, pos = _b_read(data, 1)
@@ -1233,8 +1235,12 @@ def frame_message_binary(message: Message) -> bytes:
     Builds the length prefix, version byte and body in a single buffer and
     writes the envelope fields directly, skipping both the intermediate
     body copy of ``frame(encode_message_binary(...))`` and the type-dispatch
-    chain of :func:`_b_write` for the outer :class:`Message`.
+    chain of :func:`_b_write` for the outer :class:`Message`.  The finished
+    frame is memoized on the message (see :func:`frame_message`).
     """
+    cached = message._frame_bin
+    if cached is not None:
+        return cached
     if _Notification is None:
         _load_domain()
     out = bytearray(4)  # length prefix, patched once the body is complete
@@ -1249,7 +1255,8 @@ def frame_message_binary(message: Message) -> bytes:
     if body_len > MAX_FRAME_SIZE:
         raise WireError(f"frame body of {body_len} bytes exceeds MAX_FRAME_SIZE")
     _LENGTH.pack_into(out, 0, body_len)
-    return bytes(out)
+    framed = message._frame_bin = bytes(out)
+    return framed
 
 
 # --------------------------------------------------------------------- codecs
@@ -1348,8 +1355,16 @@ def frame(body: bytes) -> bytes:
 
 
 def frame_message(message: Message) -> bytes:
-    """Encode and frame a message in one step (the sender hot path)."""
-    return frame(encode_message(message))
+    """Encode and frame a message in one step (the sender hot path).
+
+    The finished frame is memoized on the message (invalidated by
+    :meth:`~repro.net.process.Process.send` when the sender changes), so a
+    broker fanning one notification out to N socket links encodes it once.
+    """
+    cached = message._frame_json
+    if cached is None:
+        cached = message._frame_json = frame(encode_message(message))
+    return cached
 
 
 class FrameDecoder:

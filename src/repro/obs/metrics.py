@@ -34,12 +34,17 @@ __all__ = [
     "NULL_COUNTER",
     "NULL_HISTOGRAM",
     "DEFAULT_SIZE_BOUNDS",
+    "DEFAULT_LATENCY_BOUNDS",
 ]
 
 # Byte-size oriented bounds (frame sizes, flush sizes): powers of four from
 # 64 B to 1 MiB, which brackets everything from one tiny control frame to a
 # full flush-cap burst.
 DEFAULT_SIZE_BOUNDS: Tuple[int, ...] = tuple(64 * 4**i for i in range(8))
+
+# Latency oriented bounds (delivery age in seconds): powers of five from
+# 1 ms to ~78 s, spanning sim-clock hops and real socket round-trips.
+DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = tuple(0.001 * 5**i for i in range(8))
 
 
 class Counter:

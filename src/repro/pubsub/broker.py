@@ -23,7 +23,7 @@ from typing import Dict, List, Mapping, Optional, Set
 
 from ..net.process import Message, Process
 from ..net.simulator import Simulator
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import DEFAULT_LATENCY_BOUNDS, MetricsRegistry
 from .filters import Filter
 from .notification import Notification
 from .routing import RoutingStrategy, make_strategy
@@ -50,8 +50,10 @@ class Broker(Process):
         simple routing throughout, which is the default here.
     matcher:
         Routing-table matching strategy: ``"indexed"`` (default; per-link
-        attribute index, pre-selects candidate entries) or ``"brute"``
-        (evaluate every entry).  Both produce identical forwarding decisions.
+        attribute index, pre-selects candidate entries), ``"interval"``
+        (same index with an incrementally-repaired range structure, built
+        for churn-heavy workloads) or ``"brute"`` (evaluate every entry).
+        All three produce identical forwarding decisions.
     advertising:
         Subscription-control implementation of the routing strategy:
         ``"incremental"`` (default; maintained forwarded-filter index) or
@@ -87,7 +89,8 @@ class Broker(Process):
     ):
         super().__init__(sim, name)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.routing_table = RoutingTable(matcher=matcher)
+        self.routing_table = RoutingTable(matcher=matcher, metrics=self.metrics)
+        self._delivery_age = self.metrics.histogram("broker.delivery_age", DEFAULT_LATENCY_BOUNDS)
         self.routing_strategy_name = routing
         self.strategy: RoutingStrategy = make_strategy(
             routing, self, advertising=advertising, metrics=self.metrics
@@ -106,7 +109,9 @@ class Broker(Process):
         if duplicates_capacity is not None and duplicates_capacity < 1:
             raise ValueError("duplicates_capacity must be >= 1 (use deduplicate=False to disable)")
         self.duplicates_capacity = (
-            duplicates_capacity if duplicates_capacity is not None else self.DEFAULT_DUPLICATES_CAPACITY
+            duplicates_capacity
+            if duplicates_capacity is not None
+            else self.DEFAULT_DUPLICATES_CAPACITY
         )
         self._seen_notification_ids: Dict[int, None] = {}
         self.deduplicate = False
@@ -114,7 +119,7 @@ class Broker(Process):
     # ------------------------------------------------------------------ matcher
     @property
     def matcher(self) -> str:
-        """The routing-table matching strategy ("brute" or "indexed")."""
+        """The routing-table matching strategy ("brute", "indexed" or "interval")."""
         return self.routing_table.matcher
 
     def set_matcher(self, matcher: str) -> None:
@@ -310,15 +315,42 @@ class Broker(Process):
         self.notifications_routed += 1
         destinations = self.strategy.route(notification, from_link)
         broker_peers = self._broker_peers
+        links = self.links
+        # One Message per kind is shared across every serialising destination
+        # endpoint on this hop, so the frame caches encode it exactly once
+        # per codec.  In-memory endpoints (shares_fanout False) still get a
+        # fresh Message each: the object they carry *is* the delivery.
+        shared_publish: Optional[Message] = None
+        shared_notify: Optional[Message] = None
+        age: Optional[float] = None
         for destination in destinations:
-            if not self.has_link(destination):
+            endpoint = links.get(destination)
+            if endpoint is None:
                 continue
             if destination in broker_peers:
                 self.notifications_forwarded += 1
-                self.send(destination, Message(kind="publish", payload=notification))
+                if endpoint.shares_fanout:
+                    if shared_publish is None:
+                        shared_publish = Message(kind="publish", payload=notification)
+                    message = shared_publish
+                else:
+                    message = Message(kind="publish", payload=notification)
             else:
                 self.notifications_delivered_locally += 1
-                self.send(destination, Message(kind="notify", payload=notification))
+                if notification.published_at is not None:
+                    if age is None:
+                        # transport-clock age at the delivering broker; clamped
+                        # at zero because cluster children carry independent
+                        # clock origins and skew can go slightly negative
+                        age = max(0.0, self.sim.now - notification.published_at)
+                    self._delivery_age.observe(age)
+                if endpoint.shares_fanout:
+                    if shared_notify is None:
+                        shared_notify = Message(kind="notify", payload=notification)
+                    message = shared_notify
+                else:
+                    message = Message(kind="notify", payload=notification)
+            self.send(destination, message)
 
     # --------------------------------------------------- strategy callbacks
     def forward_subscribe(self, subscription: Subscription, link: str) -> None:

@@ -248,7 +248,7 @@ class _PlanRun:
     """Mutable execution state for one plan on one backend."""
 
     def __init__(
-        self, plan: ChaosPlan, backend: str, inject_bug: Optional[str], codec=None
+        self, plan: ChaosPlan, backend: str, inject_bug: Optional[str], codec=None, matcher=None
     ):
         if inject_bug is not None and inject_bug not in INJECTABLE_BUGS:
             raise ValueError(f"unknown injectable bug {inject_bug!r}; know {INJECTABLE_BUGS}")
@@ -256,7 +256,11 @@ class _PlanRun:
         self.params = plan.params
         self.inject_bug = inject_bug
         self.net = line_topology(
-            n_brokers=self.params.brokers, routing="covering", transport=backend, codec=codec
+            n_brokers=self.params.brokers,
+            routing="covering",
+            transport=backend,
+            codec=codec,
+            matcher=matcher,
         )
         self.injector = FaultInjector(self.net.sim, self.net.network, seed=self.params.seed)
         self.down: set = set()
@@ -524,16 +528,21 @@ def _ids(client) -> Tuple[int, ...]:
 
 
 def execute_plan(
-    plan: ChaosPlan, backend: str = "sim", inject_bug: Optional[str] = None, codec=None
+    plan: ChaosPlan,
+    backend: str = "sim",
+    inject_bug: Optional[str] = None,
+    codec=None,
+    matcher=None,
 ) -> ExecutionResult:
     """Execute ``plan`` on ``backend`` and return observations + verdicts.
 
     ``inject_bug`` deliberately de-synchronises execution from the oracle
     (see :data:`INJECTABLE_BUGS`) so tests can prove the fuzzer catches and
     shrinks real invariant violations.  ``codec`` selects the wire codec of
-    the socket backends (the simulator ignores it).
+    the socket backends (the simulator ignores it); ``matcher`` selects the
+    brokers' routing-table matching strategy.
     """
-    return _PlanRun(plan, backend, inject_bug, codec=codec).run()
+    return _PlanRun(plan, backend, inject_bug, codec=codec, matcher=matcher).run()
 
 
 # ------------------------------------------------------------------ shrinking
@@ -641,16 +650,20 @@ def run_chaos_fuzz(
     shrink: bool = True,
     inject_bug: Optional[str] = None,
     codec=None,
+    matcher=None,
 ) -> FuzzReport:
     """Generate, execute and judge the plan for ``seed`` on ``backend``.
 
     On a non-sim backend the identical plan also runs on the simulator and
     the per-subscriber delivered sets must converge (the sim is the oracle).
+    The sim oracle always runs with the *default* matcher, so a fuzz sweep
+    with ``matcher=`` set cross-checks that matcher's forwarding decisions
+    against the reference implementation under every drawn fault schedule.
     On any violation the schedule is shrunk on the simulator and the minimal
     failing schedule is attached to the report.
     """
     plan = generate_plan(seed)
-    result = execute_plan(plan, backend, inject_bug=inject_bug, codec=codec)
+    result = execute_plan(plan, backend, inject_bug=inject_bug, codec=codec, matcher=matcher)
     violations = list(result.violations)
     if backend != "sim":
         oracle = execute_plan(plan, "sim", inject_bug=inject_bug)
@@ -663,18 +676,18 @@ def run_chaos_fuzz(
     if violations and shrink:
         report.shrunk = shrink_plan(
             plan,
-            lambda candidate: _candidate_fails(candidate, backend, inject_bug, codec),
+            lambda candidate: _candidate_fails(candidate, backend, inject_bug, codec, matcher),
             max_executions=64 if backend == "sim" else 24,
         )
     return report
 
 
 def _candidate_fails(
-    plan: ChaosPlan, backend: str, inject_bug: Optional[str], codec=None
+    plan: ChaosPlan, backend: str, inject_bug: Optional[str], codec=None, matcher=None
 ) -> bool:
     """Shrink predicate: the candidate must fail on the *failing* backend —
     a cluster-only divergence can never be reproduced by a sim-only check."""
-    result = execute_plan(plan, backend, inject_bug=inject_bug, codec=codec)
+    result = execute_plan(plan, backend, inject_bug=inject_bug, codec=codec, matcher=matcher)
     if result.violations:
         return True
     if backend == "sim":
@@ -684,10 +697,13 @@ def _candidate_fails(
 
 
 def sweep(
-    seeds: Sequence[int], backend: str = "sim", shrink: bool = True, codec=None
+    seeds: Sequence[int], backend: str = "sim", shrink: bool = True, codec=None, matcher=None
 ) -> List[FuzzReport]:
     """Run a fuzz sweep; returns one report per seed, failures included."""
-    return [run_chaos_fuzz(seed, backend=backend, shrink=shrink, codec=codec) for seed in seeds]
+    return [
+        run_chaos_fuzz(seed, backend=backend, shrink=shrink, codec=codec, matcher=matcher)
+        for seed in seeds
+    ]
 
 
 # ----------------------------------------------------------------------- soak

@@ -265,6 +265,8 @@ class Range(Constraint):
         include_high: bool = True,
     ):
         super().__init__(attribute)
+        if low != low or high != high:
+            raise ValueError(f"NaN bound for {attribute}: [{low}, {high}]")
         if low > high:
             raise ValueError(f"empty range for {attribute}: [{low}, {high}]")
         self.low = low
@@ -275,11 +277,57 @@ class Range(Constraint):
     def matches_value(self, value: Any) -> bool:
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             return False
+        if value != value:  # NaN lies inside no interval
+            return False
         if value < self.low or (value == self.low and not self.include_low):
             return False
         if value > self.high or (value == self.high and not self.include_high):
             return False
         return True
+
+    def value_test(self):
+        low, high = self.low, self.high
+        # one of four specialized closures: a single chained comparison per
+        # evaluation, and NaN fails every variant because all its comparisons
+        # are false (the chain is phrased positively)
+        if self.include_low:
+            if self.include_high:
+
+                def test(value: Any, _low=low, _high=high) -> bool:
+                    return (
+                        isinstance(value, (int, float))
+                        and not isinstance(value, bool)
+                        and _low <= value <= _high
+                    )
+
+            else:
+
+                def test(value: Any, _low=low, _high=high) -> bool:
+                    return (
+                        isinstance(value, (int, float))
+                        and not isinstance(value, bool)
+                        and _low <= value < _high
+                    )
+
+        elif self.include_high:
+
+            def test(value: Any, _low=low, _high=high) -> bool:
+                return (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and _low < value <= _high
+                )
+
+        else:
+
+            def test(value: Any, _low=low, _high=high) -> bool:
+                return (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and _low < value < _high
+                )
+
+        return test
 
     def covers(self, other: Constraint) -> bool:
         if other.attribute != self.attribute:

@@ -179,11 +179,179 @@ class RangeSegmentIndex:
         """Payloads of the ranges that may contain ``value`` (a superset)."""
         if not isinstance(value, (int, float)) or isinstance(value, bool):
             return []  # a Range constraint never matches a non-numeric value
+        if value != value:
+            return []  # NaN lies inside no interval (and would misbisect)
         if self._dirty:
             self._rebuild()
         if not self._segments:
             return []
         return self._segments[self._segment_of(self._bounds, value)]
+
+
+class IntervalBucketIndex:
+    """Incrementally-maintained interval-stabbing index (bucketed boundaries).
+
+    The churn-proof sibling of :class:`RangeSegmentIndex`: instead of a
+    lazily rebuilt elementary-segment table (O(n log n) on the first query
+    after *any* mutation), the number line is partitioned into buckets by a
+    monotonically growing sorted cut list, and every range is stored in each
+    bucket it overlaps.  Insert and remove are two ``bisect`` calls plus a
+    handful of dict operations; a query is one ``bisect`` into the cut list
+    plus the member dict of one bucket — no rebuild, ever.
+
+    Local repair keeps buckets small: when an insert pushes a bucket past
+    ``MAX_BUCKET`` entries, the bucket is split at the median of the member
+    bounds falling strictly inside it (one ``repairs`` increment, reported
+    through the optional ``repair_counter`` as ``index.repair``).  Ranges
+    that would straddle more than ``MAX_SPAN`` buckets at insert time go
+    into the always-scanned ``wide`` set instead — the incremental analogue
+    of the segment index's self-coarsening fallback, so heavily overlapping
+    workloads degrade to linear scans of those entries rather than to
+    quadratic bucket membership.  A bucket whose members cannot be separated
+    (e.g. all-identical point intervals) refuses to split and backs off
+    until it doubles, so degenerate workloads cannot trigger repeated O(n)
+    split attempts.
+
+    Candidate sets are supersets exactly like the segment index (endpoint
+    inclusivity is ignored; the full filter evaluation downstream restores
+    exactness), and each entry is yielded at most once per query: a narrow
+    entry lives in many buckets but a value stabs exactly one, and wide
+    entries live only in ``wide``.
+    """
+
+    __slots__ = ("_entries", "_cuts", "_buckets", "_retry_at", "_wide", "repairs", "repair_counter")
+
+    MAX_BUCKET = 24
+    MAX_SPAN = 4
+
+    def __init__(self, repair_counter: object = None) -> None:
+        # id -> (low, high, payload, wide)
+        self._entries: Dict[str, Tuple[float, float, object, bool]] = {}
+        self._cuts: List[float] = []  # bucket i covers (cuts[i-1], cuts[i]]
+        self._buckets: List[Dict[str, object]] = [{}]
+        #: per-bucket size below which a failed split is not re-attempted
+        self._retry_at: List[int] = [0]
+        self._wide: Dict[str, object] = {}
+        self.repairs = 0
+        #: optional live metrics Counter observing every split
+        self.repair_counter = repair_counter
+
+    def add(self, entry_id: str, constraint: Range, payload: object) -> None:
+        if entry_id in self._entries:
+            self.discard(entry_id)
+        low, high = constraint.bounds()
+        cuts = self._cuts
+        lo = bisect_left(cuts, low)
+        hi = bisect_left(cuts, high)
+        if hi - lo >= self.MAX_SPAN:
+            self._entries[entry_id] = (low, high, payload, True)
+            self._wide[entry_id] = payload
+            return
+        self._entries[entry_id] = (low, high, payload, False)
+        buckets = self._buckets
+        for i in range(lo, hi + 1):
+            buckets[i][entry_id] = payload
+        # repair right-to-left so a split (which inserts at i + 1) never
+        # shifts a bucket index this loop still has to visit
+        for i in range(hi, lo - 1, -1):
+            if len(buckets[i]) > self.MAX_BUCKET and len(buckets[i]) >= self._retry_at[i]:
+                self._split(i)
+
+    def discard(self, entry_id: str) -> None:
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            return
+        low, high, _payload, wide = entry
+        if wide:
+            self._wide.pop(entry_id, None)
+        else:
+            cuts = self._cuts
+            buckets = self._buckets
+            for i in range(bisect_left(cuts, low), bisect_left(cuts, high) + 1):
+                buckets[i].pop(entry_id, None)
+        if not self._entries:
+            # compaction: cuts only ever grow, so reset once the index drains
+            self._cuts = []
+            self._buckets = [{}]
+            self._retry_at = [0]
+            self._wide = {}
+
+    def _split(self, i: int) -> None:
+        """Split bucket ``i`` at the median interior bound (local repair)."""
+        bucket = self._buckets[i]
+        cuts = self._cuts
+        entries = self._entries
+        bucket_lo = cuts[i - 1] if i > 0 else -math.inf
+        bucket_hi = cuts[i] if i < len(cuts) else math.inf
+        points = sorted(
+            {
+                bound
+                for entry_id in bucket
+                for bound in entries[entry_id][:2]
+                if bucket_lo < bound < bucket_hi
+            }
+        )
+        if not points:
+            # unsplittable (members span the bucket or share one boundary):
+            # back off until the bucket doubles before trying again
+            self._retry_at[i] = 2 * len(bucket)
+            return
+        cut = points[len(points) // 2]
+        left: Dict[str, object] = {}
+        right: Dict[str, object] = {}
+        for entry_id, payload in bucket.items():
+            low, high = entries[entry_id][0], entries[entry_id][1]
+            if low <= cut:
+                left[entry_id] = payload
+            if high > cut:
+                right[entry_id] = payload
+        cuts.insert(i, cut)
+        self._buckets[i : i + 1] = [left, right]
+        self._retry_at[i : i + 1] = [0, 0]
+        self.repairs += 1
+        counter = self.repair_counter
+        if counter is not None:
+            counter.inc()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, entry_id: str) -> Optional[object]:
+        entry = self._entries.get(entry_id)
+        return entry[2] if entry is not None else None
+
+    def payloads(self) -> List[object]:
+        return [payload for (_low, _high, payload, _wide) in self._entries.values()]
+
+    def candidates(self, value: object) -> List[object]:
+        """Payloads of the ranges that may contain ``value`` (a superset)."""
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return []  # a Range constraint never matches a non-numeric value
+        if value != value:
+            return []  # NaN lies inside no interval
+        cuts = self._cuts
+        bucket = self._buckets[bisect_left(cuts, value)] if cuts else self._buckets[0]
+        wide = self._wide
+        if not wide:
+            return list(bucket.values())
+        out = list(bucket.values())
+        out.extend(wide.values())
+        return out
+
+
+#: range-index implementations selectable per matcher: ``"segment"`` is the
+#: lazily rebuilt :class:`RangeSegmentIndex` (the ``"indexed"`` matcher),
+#: ``"interval"`` the incrementally maintained :class:`IntervalBucketIndex`
+RANGE_INDEX_NAMES = ("segment", "interval")
+
+
+def make_range_index(name: str, repair_counter: object = None):
+    """Instantiate the range index selected by ``name`` (see RANGE_INDEX_NAMES)."""
+    if name == "segment":
+        return RangeSegmentIndex()
+    if name == "interval":
+        return IntervalBucketIndex(repair_counter=repair_counter)
+    raise ValueError(f"unknown range index {name!r}; available: {RANGE_INDEX_NAMES}")
 
 
 class BruteForceMatcher:
@@ -228,20 +396,41 @@ class AttributeIndexMatcher:
     evaluated in full, which keeps the result identical to brute force while
     skipping most non-matching filters on selective workloads.  Filters with
     no equality constraint but at least one ``Range`` constraint are bucketed
-    in a per-attribute :class:`RangeSegmentIndex` and pre-selected by the
-    notification's value for that attribute.
+    in a per-attribute range index — the lazily rebuilt
+    :class:`RangeSegmentIndex` (``range_index="segment"``, the default) or
+    the incrementally maintained :class:`IntervalBucketIndex`
+    (``range_index="interval"``) — and pre-selected by the notification's
+    value for that attribute.
+
+    Repeated publishes of a hot notification shape skip candidate gathering
+    entirely: results are memoized by the notification's attribute signature
+    in an epoch-guarded cache that every mutation invalidates, so a stale
+    answer can never be served (``cache_hits`` counts the skips).
     """
 
-    def __init__(self) -> None:
+    #: bound on the memoized notification signatures (FIFO eviction)
+    CACHE_CAPACITY = 4096
+
+    def __init__(self, range_index: str = "segment") -> None:
+        if range_index not in RANGE_INDEX_NAMES:
+            raise ValueError(
+                f"unknown range index {range_index!r}; available: {RANGE_INDEX_NAMES}"
+            )
+        self._range_index_name = range_index
         self._by_key: Dict[Tuple[str, object], Dict[str, Subscription]] = defaultdict(dict)
-        self._by_range: Dict[str, RangeSegmentIndex] = {}
+        self._by_range: Dict[str, object] = {}
         self._unindexed: Dict[str, Subscription] = {}
         # sub_id -> ("eq", key) | ("range", attribute) | None (unindexed)
         self._index_of: Dict[str, Optional[Tuple[str, object]]] = {}
         self.full_evaluations = 0
+        self.cache_hits = 0
+        self._epoch = 0
+        self._cache_epoch = 0
+        self._match_cache: Dict[Tuple, List[Subscription]] = {}
 
     # ------------------------------------------------------------------ admin
     def add(self, subscription: Subscription) -> None:
+        self._epoch += 1
         sub_id = subscription.sub_id
         key = self._pick_index_key(subscription.filter)
         if key is not None:
@@ -254,7 +443,7 @@ class AttributeIndexMatcher:
             self._index_of[sub_id] = ("range", attribute)
             index = self._by_range.get(attribute)
             if index is None:
-                index = self._by_range[attribute] = RangeSegmentIndex()
+                index = self._by_range[attribute] = make_range_index(self._range_index_name)
             index.add(sub_id, range_constraint, subscription)
             return
         self._index_of[sub_id] = None
@@ -263,6 +452,7 @@ class AttributeIndexMatcher:
     def remove(self, sub_id: str) -> Optional[Subscription]:
         if sub_id not in self._index_of:
             return None
+        self._epoch += 1
         tag = self._index_of.pop(sub_id)
         if tag is None:
             return self._unindexed.pop(sub_id, None)
@@ -283,6 +473,7 @@ class AttributeIndexMatcher:
         return removed
 
     def clear(self) -> None:
+        self._epoch += 1
         self._by_key.clear()
         self._by_range.clear()
         self._unindexed.clear()
@@ -305,6 +496,29 @@ class AttributeIndexMatcher:
 
     # --------------------------------------------------------------- matching
     def match(self, notification: Mapping) -> List[Subscription]:
+        cache = self._match_cache
+        if self._cache_epoch != self._epoch:
+            cache.clear()
+            self._cache_epoch = self._epoch
+        try:
+            # attributes are unique keys, so sorting never compares values
+            # and the signature is hashable iff every value is
+            signature = tuple(sorted(notification.items()))
+            cached = cache.get(signature)
+        except TypeError:  # unorderable items view or unhashable value
+            signature = None
+            cached = None
+        if cached is not None:
+            self.cache_hits += 1
+            return list(cached)
+        matched = self._match_uncached(notification)
+        if signature is not None:
+            if len(cache) >= self.CACHE_CAPACITY:
+                del cache[next(iter(cache))]
+            cache[signature] = matched
+        return list(matched)
+
+    def _match_uncached(self, notification: Mapping) -> List[Subscription]:
         candidates: List[Subscription] = list(self._unindexed.values())
         for (attribute, value), bucket in self._candidate_buckets(notification):
             candidates.extend(bucket.values())

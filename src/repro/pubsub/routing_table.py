@@ -9,7 +9,7 @@ The table additionally records which subscription id produced each entry, so
 that unsubscriptions, relocations and shadow garbage collection can remove
 exactly the right entries.
 
-Two matching strategies are available (the ``matcher`` knob):
+Three matching strategies are available (the ``matcher`` knob):
 
 * ``"brute"`` — every entry of every link is evaluated against the
   notification; the always-correct baseline the paper's testbed uses.
@@ -18,15 +18,29 @@ Two matching strategies are available (the ``matcher`` knob):
   entry with a hashable equality constraint is bucketed under its
   ``(attribute, value)`` pair; entries whose best constraint is a ``Range``
   are bucketed in a per-attribute segment index (sorted boundaries +
-  bisect).  At match time only the buckets/segments selected by the
-  notification's own attribute/value pairs (plus the unindexable entries)
-  are evaluated, and each link short-circuits on its first matching entry.
-  Results are identical to brute force — the index is purely a candidate
-  pre-selection.
+  bisect, rebuilt lazily after mutations).  At match time only the
+  buckets/segments selected by the notification's own attribute/value pairs
+  (plus the unindexable entries) are evaluated, and each link
+  short-circuits on its first matching entry.  Results are identical to
+  brute force — the index is purely a candidate pre-selection.
+* ``"interval"`` — the churn-proof variant of ``"indexed"``: range entries
+  go into an incrementally maintained
+  :class:`~repro.pubsub.matching.IntervalBucketIndex` (bucketed boundary
+  cuts with local split repair) instead of the lazily rebuilt segment
+  index, so interleaved subscribe/unsubscribe and publish traffic never
+  pays an O(n log n) rebuild on the first query after a mutation.
 
-The index is maintained incrementally by :meth:`RoutingTable.add`,
+The equality index is maintained incrementally by :meth:`RoutingTable.add`,
 :meth:`RoutingTable.remove`, :meth:`RoutingTable.remove_link` and
 :meth:`RoutingTable.clear`, so subscription churn never forces a rebuild.
+
+On top of any non-brute matcher sits an epoch-guarded destination cache:
+``destinations()`` results are memoized by the notification's attribute
+signature (plus the exclude set) and every table mutation bumps the epoch,
+so repeated publishes of hot notification shapes skip candidate evaluation
+entirely while staleness is impossible by construction.  Cache hits are
+reported through the optional metrics registry as ``match.cache_hit``
+(interval-index split repairs as ``index.repair``).
 """
 
 from __future__ import annotations
@@ -34,13 +48,13 @@ from __future__ import annotations
 import math
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from .filters import Equals, Filter, InSet, NotEquals, Prefix, Range
-from .matching import RangeSegmentIndex, pick_index_key, pick_range_constraint
+from .matching import make_range_index, pick_index_key, pick_range_constraint
 from .subscription import Subscription
 
-MATCHER_NAMES = ("brute", "indexed")
+MATCHER_NAMES = ("brute", "indexed", "interval")
 
 
 @dataclass(frozen=True)
@@ -71,18 +85,21 @@ class _LinkIndex:
     notification attribute beat a combined-tuple key: attribute strings cache
     their hashes, and no tuple is allocated per probe.  Entries without a
     usable equality constraint but with a ``Range`` constraint go into a
-    per-attribute :class:`~repro.pubsub.matching.RangeSegmentIndex` (sorted
-    boundaries + bisect) and are pre-selected by the notification's numeric
-    value; ``unindexed`` holds only the remainder, which must always be
-    evaluated.
+    per-attribute range index — the lazily rebuilt
+    :class:`~repro.pubsub.matching.RangeSegmentIndex` for the ``"indexed"``
+    matcher, the incrementally maintained
+    :class:`~repro.pubsub.matching.IntervalBucketIndex` for ``"interval"``
+    — and are pre-selected by the notification's numeric value;
+    ``unindexed`` holds only the remainder, which must always be evaluated.
     """
 
-    __slots__ = ("by_attr", "by_range", "unindexed")
+    __slots__ = ("by_attr", "by_range", "unindexed", "_make_range_index")
 
-    def __init__(self) -> None:
+    def __init__(self, make_range_index_fn) -> None:
         self.by_attr: Dict[str, Dict[object, Dict[str, RouteEntry]]] = {}
-        self.by_range: Dict[str, RangeSegmentIndex] = {}
+        self.by_range: Dict[str, object] = {}
         self.unindexed: Dict[str, RouteEntry] = {}
+        self._make_range_index = make_range_index_fn
 
     def add(self, entry: RouteEntry) -> None:
         key = pick_index_key(entry.filter)
@@ -92,7 +109,7 @@ class _LinkIndex:
                 attribute = range_constraint.attribute
                 index = self.by_range.get(attribute)
                 if index is None:
-                    index = self.by_range[attribute] = RangeSegmentIndex()
+                    index = self.by_range[attribute] = self._make_range_index()
                 index.add(entry.sub_id, range_constraint, entry)
                 return
             self.unindexed[entry.sub_id] = entry
@@ -172,18 +189,31 @@ class RoutingTable:
 
     Entries are grouped by link for efficient forwarding decisions ("which
     links need this notification?") and indexed by subscription id for
-    efficient removal.  With ``matcher="indexed"`` each link additionally
+    efficient removal.  With a non-brute ``matcher`` each link additionally
     maintains an attribute index so forwarding decisions only evaluate
-    candidate entries.
+    candidate entries, and ``destinations()`` results are memoized in an
+    epoch-guarded cache invalidated by every mutation.  ``metrics`` is an
+    optional :class:`~repro.obs.metrics.MetricsRegistry` receiving the
+    ``match.cache_hit`` and ``index.repair`` counters.
     """
 
-    def __init__(self, matcher: str = "indexed") -> None:
+    #: bound on the memoized notification signatures (FIFO eviction)
+    CACHE_CAPACITY = 4096
+
+    def __init__(self, matcher: str = "indexed", metrics=None) -> None:
         if matcher not in MATCHER_NAMES:
             raise ValueError(f"unknown matcher {matcher!r}; available: {MATCHER_NAMES}")
         self._matcher = matcher
+        self._indexed = matcher != "brute"
         self._by_link: Dict[str, Dict[str, RouteEntry]] = defaultdict(dict)
         self._by_sub: Dict[str, List[RouteEntry]] = defaultdict(list)
         self._index: Dict[str, _LinkIndex] = {}
+        self.cache_hits = 0
+        self._epoch = 0
+        self._cache_epoch = 0
+        self._destination_cache: Dict[Tuple, List[str]] = {}
+        self._cache_hit_counter = metrics.counter("match.cache_hit") if metrics else None
+        self._repair_counter = metrics.counter("index.repair") if metrics else None
 
     # ----------------------------------------------------------------- matcher
     @property
@@ -191,22 +221,36 @@ class RoutingTable:
         return self._matcher
 
     def set_matcher(self, matcher: str) -> None:
-        """Switch matching strategy, rebuilding the index from current entries."""
+        """Switch matching strategy, rebuilding the index from current entries.
+
+        The destination cache is invalidated along with the index: the flip
+        bumps the mutation epoch exactly like an entry change, so a matcher
+        arriving through the live control plane can never serve a result
+        computed by its predecessor.
+        """
         if matcher not in MATCHER_NAMES:
             raise ValueError(f"unknown matcher {matcher!r}; available: {MATCHER_NAMES}")
         if matcher == self._matcher:
             return
         self._matcher = matcher
+        self._indexed = matcher != "brute"
+        self._epoch += 1
         self._index = {}
-        if matcher == "indexed":
+        if self._indexed:
             for link, entries in self._by_link.items():
                 for entry in entries.values():
                     self._index_add(entry)
 
+    def _new_link_index(self) -> _LinkIndex:
+        if self._matcher == "interval":
+            repair_counter = self._repair_counter
+            return _LinkIndex(lambda: make_range_index("interval", repair_counter))
+        return _LinkIndex(lambda: make_range_index("segment"))
+
     def _index_add(self, entry: RouteEntry) -> None:
         index = self._index.get(entry.link)
         if index is None:
-            index = self._index[entry.link] = _LinkIndex()
+            index = self._index[entry.link] = self._new_link_index()
         index.add(entry)
 
     def _index_discard(self, entry: RouteEntry) -> None:
@@ -221,14 +265,15 @@ class RoutingTable:
     def add(self, filter: Filter, link: str, sub_id: str) -> RouteEntry:
         """Insert an entry; replaces an existing entry for the same (sub_id, link)."""
         entry = RouteEntry(filter=filter, link=link, sub_id=sub_id)
+        self._epoch += 1
         previous = self._by_link[link].get(sub_id)
         if previous is not None:
             self._by_sub[sub_id] = [e for e in self._by_sub[sub_id] if e.link != link]
-            if self._matcher == "indexed":
+            if self._indexed:
                 self._index_discard(previous)
         self._by_link[link][sub_id] = entry
         self._by_sub[sub_id].append(entry)
-        if self._matcher == "indexed":
+        if self._indexed:
             self._index_add(entry)
         return entry
 
@@ -242,10 +287,11 @@ class RoutingTable:
         keep: List[RouteEntry] = []
         for entry in entries:
             if link is None or entry.link == link:
+                self._epoch += 1
                 self._by_link[entry.link].pop(sub_id, None)
                 if not self._by_link[entry.link]:
                     del self._by_link[entry.link]
-                if self._matcher == "indexed":
+                if self._indexed:
                     self._index_discard(entry)
                 removed.append(entry)
             else:
@@ -259,6 +305,7 @@ class RoutingTable:
     def remove_link(self, link: str) -> List[RouteEntry]:
         """Remove every entry pointing at ``link`` (e.g. a disconnected client)."""
         entries = list(self._by_link.pop(link, {}).values())
+        self._epoch += 1
         self._index.pop(link, None)
         for entry in entries:
             remaining = [e for e in self._by_sub.get(entry.sub_id, []) if e.link != link]
@@ -269,6 +316,7 @@ class RoutingTable:
         return entries
 
     def clear(self) -> None:
+        self._epoch += 1
         self._by_link.clear()
         self._by_sub.clear()
         self._index.clear()
@@ -296,7 +344,23 @@ class RoutingTable:
     def destinations(self, notification: Mapping, exclude: Iterable[str] = ()) -> List[str]:
         """Links (deduplicated, sorted) on which ``notification`` must be forwarded."""
         excluded = set(exclude)
-        if self._matcher == "indexed":
+        if self._indexed:
+            cache = self._destination_cache
+            if self._cache_epoch != self._epoch:
+                cache.clear()
+                self._cache_epoch = self._epoch
+            key: Optional[Tuple[Any, ...]] = None
+            try:
+                key = (tuple(sorted(notification.items())), tuple(sorted(excluded)))
+                cached = cache.get(key)
+            except TypeError:  # unhashable attribute value — skip the cache
+                key = None
+                cached = None
+            if cached is not None:
+                self.cache_hits += 1
+                if self._cache_hit_counter is not None:
+                    self._cache_hit_counter.inc()
+                return list(cached)
             result = []
             for link, candidates in self._link_candidates(notification, excluded):
                 for entry in candidates:
@@ -304,7 +368,11 @@ class RoutingTable:
                         result.append(link)
                         break
             result.sort()
-            return result
+            if key is not None:
+                if len(cache) >= self.CACHE_CAPACITY:
+                    del cache[next(iter(cache))]
+                cache[key] = result
+            return list(result)
         matched: Set[str] = set()
         for link, entries in self._by_link.items():
             if link in excluded:
@@ -313,10 +381,12 @@ class RoutingTable:
                 matched.add(link)
         return sorted(matched)
 
-    def matching_entries(self, notification: Mapping, exclude: Iterable[str] = ()) -> List[RouteEntry]:
+    def matching_entries(
+        self, notification: Mapping, exclude: Iterable[str] = ()
+    ) -> List[RouteEntry]:
         excluded = set(exclude)
         matched: List[RouteEntry] = []
-        if self._matcher == "indexed":
+        if self._indexed:
             for link, candidates in self._link_candidates(notification, excluded):
                 matched.extend(e for e in candidates if e.filter.matches(notification))
             return matched

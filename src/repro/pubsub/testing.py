@@ -221,9 +221,12 @@ class FlipWorkloadResult:
 
 
 def _flipped(value: str, names) -> str:
-    """The other member of a two-name knob set (brute<->indexed, scan<->incremental)."""
-    a, b = names
-    return b if value == a else a
+    """A different member of a knob set (indexed->brute, brute->indexed, interval->brute).
+
+    The first name is the fallback everything else flips to, so the flip is
+    well-defined even for knobs that grow beyond two names.
+    """
+    return names[1] if value == names[0] else names[0]
 
 
 def run_flip_workload(
